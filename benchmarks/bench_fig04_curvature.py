@@ -1,0 +1,46 @@
+"""Figure 4: volume rendering colored by implicit-surface curvature.
+
+The paper's Figure 4 shows the curvature-shaded rendering and its
+bivariate (κ₁, κ₂) colormap.  This harness regenerates both (as PPM files
+under benchmarks/results/) and checks the qualitative content: the image
+is non-trivial, and the curvature computation drives visible color
+variation that a constant-color rendering would not have.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from conftest import RESULTS_DIR, SCALE, record
+
+from repro.data.ppm import save_ppm
+from repro.programs import illust_vr
+
+
+def test_figure04_curvature_rendering(benchmark):
+    res = max(24, int(round(96 * SCALE)))
+    prog = illust_vr.make_program(scale=res / 100.0, volume_size=48)
+    result = benchmark.pedantic(prog.run, rounds=1, iterations=1)
+    rgb = result.outputs["rgb"]
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    save_ppm(os.path.join(RESULTS_DIR, "figure04_curvature.ppm"),
+             np.clip(rgb, 0, 1), vmin=0.0, vmax=1.0)
+    save_ppm(os.path.join(RESULTS_DIR, "figure04_colormap.ppm"),
+             illust_vr.curvature_colormap(65).data, vmin=0.0, vmax=1.0)
+
+    lit = rgb[rgb.sum(axis=-1) > 0.05]
+    coverage = lit.shape[0] / (rgb.shape[0] * rgb.shape[1])
+    # hue spread among lit pixels = curvature-driven coloring
+    hue_spread = float(np.std(lit[:, 0] - lit[:, 1]) + np.std(lit[:, 1] - lit[:, 2]))
+    print(
+        f"\nFigure 4 — {res}x{res} rays; surface coverage {coverage:.0%}, "
+        f"hue spread {hue_spread:.3f}"
+    )
+    assert 0.05 < coverage < 0.95  # surfaces visible, not saturated
+    assert hue_spread > 0.02  # κ varies over the surface
+    record(
+        "figure04",
+        {"res": res, "coverage": coverage, "hue_spread": hue_spread},
+    )

@@ -1,0 +1,46 @@
+"""Table 1: lines of code and strand counts.
+
+Paper: "From this table it can be seen that Diderot provides a significant
+advantage in conciseness over using the Teem library."  We recount both
+sides on our implementations (baseline = Python + the gage API; Diderot =
+the same programs in the DSL) and reproduce the *shape*: the Diderot
+version is substantially smaller, total and core, for every benchmark.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+
+from repro.bench.loc import table1_rows
+
+
+def _fmt(pair):
+    return f"{pair[0]}:{pair[1]}"
+
+
+def test_table1_loc(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+
+    print("\n\nTable 1 — benchmark program sizes (total:core LOC)")
+    print(f"{'program':<11}{'baseline':>10}{'diderot':>9}   "
+          f"{'paper Teem':>11}{'paper Did.':>11}{'# strands (paper)':>19}")
+    for r in rows:
+        print(
+            f"{r['program']:<11}{_fmt(r['baseline_loc']):>10}"
+            f"{_fmt(r['diderot_loc']):>9}   "
+            f"{_fmt(r['paper_teem_loc']):>11}"
+            f"{_fmt(r['paper_diderot_loc']):>11}"
+            f"{r['paper_strands']:>19,}"
+        )
+
+    for r in rows:
+        b_total, b_core = r["baseline_loc"]
+        d_total, d_core = r["diderot_loc"]
+        # the paper's shape: Diderot is smaller on both measures
+        assert d_total < b_total, r["program"]
+        assert d_core <= b_core, r["program"]
+        # and by a similar factor (paper: 2.9x-8.2x total; Python baselines
+        # are naturally terser than C, so require at least 1.3x)
+        assert b_total / d_total > 1.3, r["program"]
+
+    record("table1", rows)

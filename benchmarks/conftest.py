@@ -1,0 +1,44 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the paper's numbers next to ours and appends its
+rows to ``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be
+regenerated from a run.  Workloads are scaled-down versions of the
+paper's (DESIGN.md's benchmark scaling note); set ``REPRO_BENCH_SCALE``
+to trade time for fidelity (default 1.0 ≈ a few minutes total on one
+core).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, payload) -> None:
+    """Persist one benchmark's results for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fp:
+        json.dump(payload, fp, indent=2, default=float)
+
+
+def measure(fn, repeats: int = 1) -> float:
+    """Best-of-N wall-clock time of ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

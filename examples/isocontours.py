@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Particle-based isocontour sampling (paper §4.3, Figures 7-8).
+
+A grid of strands Newton-iterates toward the nearest of three isovalues;
+strands that leave the domain or fail to converge die, so the stable
+collection samples the isocontours.  The output overlays the surviving
+particles (white) on the source image, like the paper's Figure 8.
+
+Run:  python examples/isocontours.py [--out isocontours.pgm]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import portrait_phantom
+from repro.data.ppm import save_pgm
+from repro.programs import isocontour
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--size", type=int, default=100, help="image size")
+    ap.add_argument("--out", default="isocontours.pgm")
+    args = ap.parse_args()
+
+    prog = isocontour.make_program(image_size=args.size)
+    result = prog.run()
+    pos = result.outputs["pos"]
+    print(
+        f"{result.num_strands} strands: {result.num_stable} stabilized on "
+        f"isocontours, {result.num_died} died ({result.steps} super-steps)"
+    )
+
+    # overlay: render the phantom at 4x, mark each particle
+    scale = 4
+    base = portrait_phantom(args.size).data
+    canvas = np.repeat(np.repeat(base, scale, axis=0), scale, axis=1)
+    canvas = canvas / canvas.max() * 0.6
+    for x, y in pos:
+        xi = int(round(x * scale))
+        yi = int(round(y * scale))
+        if 0 <= xi < canvas.shape[0] and 0 <= yi < canvas.shape[1]:
+            canvas[xi, yi] = 1.0
+    save_pgm(args.out, canvas, vmin=0.0, vmax=1.0)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

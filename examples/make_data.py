@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Generate the NRRD input files for the standalone .diderot programs.
+
+The programs under ``examples/programs/`` reference image files by name
+(``hand.nrrd``, ``lung.nrrd``, ``vectors.nrrd``, ``rand.nrrd``,
+``ddro.nrrd``, ``xfer.nrrd``), exactly like the paper's; this script
+materializes the synthetic stand-ins next to them so the command-line
+driver can run the programs directly:
+
+    python examples/make_data.py
+    python -m repro examples/programs/vr_lite.diderot --out vr
+"""
+
+import os
+
+from repro.data import (
+    hand_phantom,
+    lung_phantom,
+    noise_texture,
+    portrait_phantom,
+    vector_field_2d,
+)
+from repro.nrrd import write_nrrd
+from repro.programs.illust_vr import curvature_colormap
+
+HERE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "programs")
+
+
+def main() -> None:
+    files = {
+        "hand.nrrd": hand_phantom(48),
+        "lung.nrrd": lung_phantom(48),
+        "vectors.nrrd": vector_field_2d(64),
+        "rand.nrrd": noise_texture(64),
+        "ddro.nrrd": portrait_phantom(100),
+        "xfer.nrrd": curvature_colormap(33),
+    }
+    for name, img in files.items():
+        path = os.path.join(HERE, name)
+        write_nrrd(path, img, encoding="gzip", content=name.split(".")[0])
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

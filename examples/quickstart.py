@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: compile and run the paper's Figure 1 volume renderer.
+
+This is the complete workflow: write a Diderot program, compile it, bind
+the input volume (here a synthetic CT hand phantom), set inputs, run the
+bulk-synchronous strand execution, and save the rendered image.
+
+Run:  python examples/quickstart.py [--res 120] [--out vr_lite.pgm]
+"""
+
+import argparse
+
+from repro.data.ppm import save_pgm
+from repro.programs import vr_lite
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--res", type=int, default=120, help="image resolution")
+    ap.add_argument("--volume", type=int, default=48, help="phantom size")
+    ap.add_argument("--out", default="vr_lite.pgm")
+    args = ap.parse_args()
+
+    # vr_lite.SOURCE is the Diderot program of the paper's Figure 1;
+    # make_program compiles it and binds the synthetic hand volume.
+    prog = vr_lite.make_program(scale=args.res / 100.0, volume_size=args.volume)
+    print("--- Diderot source (Figure 1) ---")
+    print(vr_lite.SOURCE)
+
+    result = prog.run()
+    gray = result.outputs["gray"]
+    print(
+        f"rendered {result.num_strands} rays in {result.steps} super-steps "
+        f"({result.wall_time:.2f}s); gray range "
+        f"[{gray.min():.3f}, {gray.max():.3f}]"
+    )
+    save_pgm(args.out, gray, vmin=0.0, vmax=1.0)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Particle-based ridge detection (paper §6.2's ridge3d benchmark).
+
+Particles Newton-iterate toward vessel centerlines (1-D height ridges of
+the CT intensity) using the Hessian eigensystem.  Because the synthetic
+lung phantom has analytically known centerlines, this example also reports
+how close the converged particles are to ground truth — something the
+paper's real CT data cannot do.
+
+Run:  python examples/ridge_particles.py [--grid 12] [--out ridges.nrrd]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data.synth import lung_vessel_centerlines
+from repro.image import Image
+from repro.nrrd import write_nrrd
+from repro.programs import ridge3d
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--grid", type=int, default=12, help="particles per axis")
+    ap.add_argument("--volume", type=int, default=48)
+    ap.add_argument("--out", default="ridges.nrrd")
+    args = ap.parse_args()
+
+    prog = ridge3d.make_program(volume_size=args.volume)
+    prog.set_input("gridRes", args.grid)
+    result = prog.run()
+    pos = result.outputs["pos"]
+    print(
+        f"{result.num_strands} particles: {result.num_stable} converged to "
+        f"ridges, {result.num_died} died ({result.steps} super-steps, "
+        f"{result.wall_time:.2f}s)"
+    )
+
+    lines = lung_vessel_centerlines(args.volume).reshape(-1, 3)
+    if pos.size:
+        dists = np.array([np.min(np.linalg.norm(lines - p, axis=1)) for p in pos])
+        print(
+            f"distance to true centerlines: median {np.median(dists):.3f}, "
+            f"90th pct {np.percentile(dists, 90):.3f} (world units; "
+            f"voxel spacing ≈ {40.0 / (args.volume - 1):.2f})"
+        )
+        # positions as a 1-D list of 3-vectors, like Diderot's output files
+        write_nrrd(args.out, Image(pos, dim=1, tensor_shape=(3,)),
+                   content="ridge particle positions")
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

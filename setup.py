@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The build container has no network access and no `wheel` package, so PEP 660
+editable installs are unavailable; this shim lets `pip install -e .` use the
+legacy `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

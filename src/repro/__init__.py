@@ -1,0 +1,72 @@
+"""repro — a Python reproduction of *Diderot: A Parallel DSL for Image
+Analysis and Visualization* (Chiw, Kindlmann, Reppy, Samuels, Seltzer,
+PLDI 2012).
+
+Quick start::
+
+    import repro
+
+    prog = repro.compile_program('''
+        image(3)[] img = load("volume.nrrd");
+        field#2(3)[] F = img ⊛ bspln3;
+        strand S (int i) {
+            output real v = 0.0;
+            update { v = F([real(i), 0.0, 0.0]); stabilize; }
+        }
+        initially [ S(i) | i in 0 .. 9 ];
+    ''')
+    prog.bind_image("img", my_image)     # or let load(...) read the NRRD
+    result = prog.run()
+    print(result.outputs["v"])
+
+Packages
+--------
+:mod:`repro.core`
+    The Diderot compiler (the paper's contribution): front-end, three
+    SSA-style IRs, field normalization, probe synthesis, domain-specific
+    optimization, NumPy code generation.
+:mod:`repro.runtime`
+    Bulk-synchronous strand execution: sequential, threaded, and
+    simulated-multicore schedulers.
+:mod:`repro.fields`, :mod:`repro.kernels`, :mod:`repro.image`,
+:mod:`repro.tensors`, :mod:`repro.nrrd`
+    The substrates: continuous tensor fields by separable convolution,
+    piecewise-polynomial kernels with symbolic derivatives, oriented
+    images, small-tensor math with closed-form eigensystems, and the NRRD
+    file format.
+:mod:`repro.gage`
+    A Teem/`gage`-style per-point probing library — the paper's baseline.
+:mod:`repro.programs`, :mod:`repro.baselines`, :mod:`repro.data`
+    The paper's four benchmark programs, their hand-written baselines, and
+    synthetic stand-ins for the paper's datasets.
+"""
+
+from repro.core.driver import OptOptions, compile_file, compile_program, compile_to_source
+from repro.fields import Field, convolve
+from repro.image import Image, Orientation
+from repro.kernels import KERNELS, Kernel, bspln3, bspln5, ctmr, tent
+from repro.nrrd import read_nrrd, write_nrrd
+from repro.runtime.program import Program, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KERNELS",
+    "Field",
+    "Image",
+    "Kernel",
+    "OptOptions",
+    "Orientation",
+    "Program",
+    "RunResult",
+    "bspln3",
+    "bspln5",
+    "compile_file",
+    "compile_program",
+    "compile_to_source",
+    "convolve",
+    "ctmr",
+    "read_nrrd",
+    "tent",
+    "write_nrrd",
+]

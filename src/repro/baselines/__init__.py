@@ -1,0 +1,24 @@
+"""Hand-written baseline implementations — the paper's "Teem" column.
+
+These are the comparison programs of Table 1/Table 2: the same four
+algorithms written by hand against the :mod:`repro.gage` probing-context
+API, in the per-point style a C Teem program uses.  The paper's point —
+that the context/buffer API costs both lines of code and per-probe
+overhead relative to Diderot's compiled probes — carries over directly.
+
+Each module provides ``run(...)`` mirroring the corresponding Diderot
+program's inputs and outputs, and delimits its computational core (the
+analogue of the Diderot ``update`` method) with ``# BEGIN CORE`` /
+``# END CORE`` markers so the Table 1 line counter can find it.
+"""
+
+from repro.baselines import illust_vr, lic2d, ridge3d, vr_lite
+
+ALL = {
+    "vr-lite": vr_lite,
+    "illust-vr": illust_vr,
+    "lic2d": lic2d,
+    "ridge3d": ridge3d,
+}
+
+__all__ = ["ALL", "illust_vr", "lic2d", "ridge3d", "vr_lite"]

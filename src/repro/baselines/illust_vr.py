@@ -1,0 +1,103 @@
+"""illust-vr baseline: curvature-shaded volume rendering via gage.
+
+Demonstrates the paper's §4.1 point from the other side: the curvature
+formulas that translate directly from the whiteboard in Diderot require
+explicit buffer juggling and index-level matrix code here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gage import Context
+from repro.image import Image
+from repro.kernels import bspln3, tent
+
+
+def run(
+    img: Image,
+    xfer: Image,
+    res_u: int = 100,
+    res_v: int = 100,
+    step_sz: float = 0.5,
+    eye=(0.0, 0.0, 90.0),
+    orig=(-15.0, -15.0, 45.0),
+    c_vec=(0.3, 0.0, 0.0),
+    r_vec=(0.0, 0.3, 0.0),
+    opac_min: float = 350.0,
+    opac_max: float = 900.0,
+    t_max: float = 120.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Render the volume with curvature-based color; (res_v, res_u, 3)."""
+    eye = np.asarray(eye, dtype=dtype)
+    orig = np.asarray(orig, dtype=dtype)
+    c_vec = np.asarray(c_vec, dtype=dtype)
+    r_vec = np.asarray(r_vec, dtype=dtype)
+
+    ctx = Context(img, dtype=dtype)
+    ctx.kernel_set(0, bspln3)
+    ctx.kernel_set(1, bspln3.derivative())
+    ctx.kernel_set(2, bspln3.derivative(2))
+    ctx.query_on("value")
+    ctx.query_on("gradient")
+    ctx.query_on("hessian")
+    ctx.update()
+    val_buf = ctx.answer("value")
+    grad_buf = ctx.answer("gradient")
+    hess_buf = ctx.answer("hessian")
+
+    cmap = Context(xfer, dtype=dtype)
+    cmap.kernel_set(0, tent)
+    cmap.query_on("value")
+    cmap.update()
+    rgb_buf = cmap.answer("value")
+
+    ident = np.eye(3, dtype=dtype)
+    out = np.zeros((res_v, res_u, 3), dtype=dtype)
+    for vi in range(res_v):
+        for ui in range(res_u):
+            # BEGIN CORE
+            pos = orig + vi * r_vec + ui * c_vec
+            direc = pos - eye
+            direc = direc / np.sqrt(direc @ direc)
+            t = 0.0
+            transp = 1.0
+            rgb = np.zeros(3, dtype=dtype)
+            while t <= t_max:
+                pos = pos + step_sz * direc
+                t = t + step_sz
+                if ctx.probe(pos):
+                    val = float(val_buf)
+                    if val > opac_min:
+                        if val > opac_max:
+                            opac = 1.0
+                        else:
+                            opac = (val - opac_min) / (opac_max - opac_min)
+                        grad = -grad_buf.copy()
+                        gmag = np.sqrt(grad @ grad)
+                        if gmag > 0.0:
+                            norm = grad / gmag
+                        else:
+                            norm = np.zeros(3, dtype=dtype)
+                        hess = hess_buf.copy()
+                        proj = ident - np.outer(norm, norm)
+                        geom = -(proj @ hess @ proj) / gmag if gmag > 0 else np.zeros((3, 3), dtype=dtype)
+                        fro2 = float(np.sum(geom * geom))
+                        tr = float(np.trace(geom))
+                        disc = np.sqrt(max(0.0, 2.0 * fro2 - tr * tr))
+                        k1 = (tr + disc) / 2.0
+                        k2 = (tr - disc) / 2.0
+                        cpos = np.array(
+                            [max(-1.0, min(0.99, 6.0 * k1)),
+                             max(-1.0, min(0.99, 6.0 * k2))],
+                            dtype=dtype,
+                        )
+                        cmap.probe(cpos)
+                        mat_rgb = rgb_buf.copy()
+                        diff = max(0.0, float(-direc @ norm))
+                        rgb += transp * opac * diff * mat_rgb
+                        transp *= 1.0 - opac
+            out[vi, ui] = rgb
+            # END CORE
+    return out

@@ -1,0 +1,68 @@
+"""lic2d baseline: line integral convolution via gage.
+
+Midpoint-method streamline integration with per-point probes of the
+vector field and the noise texture — two probing contexts, four probes
+per integration step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gage import Context
+from repro.image import Image
+from repro.kernels import ctmr, tent
+
+
+def run(
+    vectors: Image,
+    rand: Image,
+    res_u: int = 250,
+    res_v: int = 250,
+    h: float = 0.005,
+    step_num: int = 20,
+    extent: float = 0.75,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Compute the LIC gray image; returns (res_v, res_u)."""
+    vctx = Context(vectors, dtype=dtype)
+    vctx.kernel_set(0, ctmr)
+    vctx.query_on("vector")
+    vctx.update()
+    vec_buf = vctx.answer("vector")
+
+    rctx = Context(rand, dtype=dtype)
+    rctx.kernel_set(0, tent)
+    rctx.query_on("value")
+    rctx.update()
+    r_buf = rctx.answer("value")
+
+    def vec_at(p: np.ndarray) -> np.ndarray:
+        vctx.probe(p)
+        return vec_buf.copy()
+
+    def noise_at(p: np.ndarray) -> float:
+        rctx.probe(p)
+        return float(r_buf)
+
+    out = np.zeros((res_v, res_u), dtype=dtype)
+    for vi in range(res_v):
+        for ui in range(res_u):
+            # BEGIN CORE
+            pos0 = np.array(
+                [extent * (2.0 * ui / (res_u - 1) - 1.0),
+                 extent * (2.0 * vi / (res_v - 1) - 1.0)],
+                dtype=dtype,
+            )
+            forw = pos0.copy()
+            back = pos0.copy()
+            total = noise_at(pos0)
+            for _ in range(step_num):
+                forw = forw + h * vec_at(forw + 0.5 * h * vec_at(forw))
+                back = back - h * vec_at(back - 0.5 * h * vec_at(back))
+                total += noise_at(forw) + noise_at(back)
+            v0 = vec_at(pos0)
+            total *= np.sqrt(v0 @ v0) / (1 + 2 * step_num)
+            out[vi, ui] = total
+            # END CORE
+    return out

@@ -1,0 +1,72 @@
+"""ridge3d baseline: particle-based vessel-ridge detection via gage.
+
+Newton iteration in the Hessian's cross-sectional eigenplane; the gage
+context supplies gradient, Hessian eigenvalues, and eigenvectors per
+probe (three answer buffers to copy from, vs Diderot's four expressions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gage import Context
+from repro.image import Image
+from repro.kernels import bspln3
+
+
+def run(
+    img: Image,
+    grid_res: int = 12,
+    grid_ext: float = 12.0,
+    epsilon: float = 0.001,
+    max_step: float = 1.0,
+    steps_max: int = 30,
+    strength_min: float = 30.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Return the converged particle positions, shape (n_stable, 3)."""
+    ctx = Context(img, dtype=dtype)
+    ctx.kernel_set(0, bspln3)
+    ctx.kernel_set(1, bspln3.derivative())
+    ctx.kernel_set(2, bspln3.derivative(2))
+    ctx.query_on("gradient")
+    ctx.query_on("hesseval")
+    ctx.query_on("hessevec")
+    ctx.update()
+    grad_buf = ctx.answer("gradient")
+    lam_buf = ctx.answer("hesseval")
+    evec_buf = ctx.answer("hessevec")
+
+    stable: list[np.ndarray] = []
+    coords = [
+        grid_ext * (2.0 * i / (grid_res - 1) - 1.0) for i in range(grid_res)
+    ]
+    for x0 in coords:
+        for y0 in coords:
+            for z0 in coords:
+                # BEGIN CORE
+                pos = np.array([x0, y0, z0], dtype=dtype)
+                for _ in range(steps_max + 1):
+                    if not ctx.probe(pos):
+                        break  # left the field domain: particle dies
+                    grad = grad_buf.copy()
+                    lam = lam_buf.copy()
+                    evec = evec_buf.copy()
+                    if lam[1] > -strength_min:
+                        break  # not vessel-like here: particle dies
+                    e2, e3 = evec[1], evec[2]
+                    delta = (
+                        -(float(grad @ e2) / lam[1]) * e2
+                        - (float(grad @ e3) / lam[2]) * e3
+                    )
+                    dlen = np.sqrt(delta @ delta)
+                    if dlen > max_step:
+                        delta = max_step * delta / dlen
+                    if dlen < epsilon:
+                        stable.append(pos)
+                        break
+                    pos = pos + delta
+                # END CORE
+    if not stable:
+        return np.zeros((0, 3), dtype=dtype)
+    return np.array(stable, dtype=dtype)

@@ -1,0 +1,78 @@
+"""vr-lite baseline: Phong-shaded volume rendering via the gage API.
+
+The probing context is configured once (kernels, query items, update),
+then every ray step calls ``ctx.probe`` and copies the value and gradient
+out of the answer buffers — the work flow the paper describes for Teem in
+§7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gage import Context
+from repro.image import Image
+from repro.kernels import bspln3
+
+
+def run(
+    img: Image,
+    res_u: int = 100,
+    res_v: int = 100,
+    step_sz: float = 0.5,
+    eye=(0.0, 0.0, 90.0),
+    orig=(-15.0, -15.0, 45.0),
+    c_vec=(0.3, 0.0, 0.0),
+    r_vec=(0.0, 0.3, 0.0),
+    opac_min: float = 350.0,
+    opac_max: float = 900.0,
+    t_max: float = 120.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Render the scalar volume; returns a (res_v, res_u) gray image."""
+    eye = np.asarray(eye, dtype=dtype)
+    orig = np.asarray(orig, dtype=dtype)
+    c_vec = np.asarray(c_vec, dtype=dtype)
+    r_vec = np.asarray(r_vec, dtype=dtype)
+
+    # set up the probing context: volume, kernels, query, buffers
+    ctx = Context(img, dtype=dtype)
+    ctx.kernel_set(0, bspln3)
+    ctx.kernel_set(1, bspln3.derivative())
+    ctx.query_on("value")
+    ctx.query_on("gradient")
+    ctx.update()
+    val_buf = ctx.answer("value")
+    grad_buf = ctx.answer("gradient")
+
+    out = np.zeros((res_v, res_u), dtype=dtype)
+    for vi in range(res_v):
+        for ui in range(res_u):
+            # BEGIN CORE
+            pos = orig + vi * r_vec + ui * c_vec
+            direc = pos - eye
+            direc = direc / np.sqrt(direc @ direc)
+            t = 0.0
+            transp = 1.0
+            gray = 0.0
+            while t <= t_max:
+                pos = pos + step_sz * direc
+                t = t + step_sz
+                if ctx.probe(pos):
+                    val = float(val_buf)
+                    if val > opac_min:
+                        if val > opac_max:
+                            opac = 1.0
+                        else:
+                            opac = (val - opac_min) / (opac_max - opac_min)
+                        grad = grad_buf.copy()
+                        gmag = np.sqrt(grad @ grad)
+                        if gmag > 0.0:
+                            norm = -grad / gmag
+                        else:
+                            norm = np.zeros(3, dtype=dtype)
+                        gray += transp * opac * max(0.0, float(-direc @ norm))
+                        transp *= 1.0 - opac
+            out[vi, ui] = gray
+            # END CORE
+    return out

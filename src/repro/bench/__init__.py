@@ -1,0 +1,1 @@
+"""Benchmark support utilities (line counting, harness helpers)."""

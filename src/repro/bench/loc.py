@@ -1,0 +1,134 @@
+"""Line-of-code counting for the Table 1 reproduction.
+
+The paper reports "lines of code of both the Teem version (written in C)
+and the Diderot version ... the lines-of-code numbers do not include
+comments, blank lines, or timing code", with a separate count for the
+computational core (the Diderot ``update`` method vs. the baseline's
+per-strand loop body).
+
+Diderot core lines are the body of the ``update`` method; baseline core
+lines sit between ``# BEGIN CORE`` / ``# END CORE`` markers.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+import tokenize
+
+
+def _is_code_line(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith("//")
+
+
+def count_diderot(source: str) -> tuple[int, int]:
+    """(total, core) code lines of a Diderot program."""
+    lines = source.splitlines()
+    total = sum(1 for ln in lines if _is_code_line(_strip_comment(ln)))
+    core = 0
+    in_update = False
+    depth = 0
+    for ln in lines:
+        code = _strip_comment(ln)
+        stripped = code.strip()
+        if not in_update:
+            if stripped.startswith("update") and stripped.endswith("{"):
+                in_update = True
+                depth = 1
+            continue
+        depth += stripped.count("{") - stripped.count("}")
+        if depth <= 0:
+            in_update = False
+            continue
+        if _is_code_line(code):
+            core += 1
+    return total, core
+
+
+def _strip_comment(line: str) -> str:
+    idx = line.find("//")
+    return line[:idx] if idx >= 0 else line
+
+
+def count_python(source: str) -> tuple[int, int]:
+    """(total, core) code lines of a baseline Python module.
+
+    Total excludes blank lines, comments, and docstrings; core counts the
+    lines between ``# BEGIN CORE`` and ``# END CORE`` markers (still
+    excluding blanks/comments).
+    """
+    doc_lines = _docstring_lines(source)
+    lines = source.splitlines()
+    total = 0
+    core = 0
+    in_core = False
+    for i, ln in enumerate(lines, start=1):
+        stripped = ln.strip()
+        if "# BEGIN CORE" in ln:
+            in_core = True
+            continue
+        if "# END CORE" in ln:
+            in_core = False
+            continue
+        if not stripped or stripped.startswith("#") or i in doc_lines:
+            continue
+        total += 1
+        if in_core:
+            core += 1
+    return total, core
+
+
+def _docstring_lines(source: str) -> set[int]:
+    """Line numbers occupied by docstrings (module/def-leading strings)."""
+    out: set[int] = set()
+    try:
+        toks = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        return out
+    prev_significant = None
+    for tok in toks:
+        if tok.type == tokenize.STRING:
+            # a string statement (not part of an expression) is a docstring
+            if prev_significant in (None, "NEWLINE", "INDENT", "DEDENT"):
+                out.update(range(tok.start[0], tok.end[0] + 1))
+        if tok.type in (tokenize.NEWLINE, tokenize.INDENT, tokenize.DEDENT):
+            prev_significant = tokenize.tok_name[tok.type]
+        elif tok.type not in (tokenize.NL, tokenize.COMMENT):
+            prev_significant = tokenize.tok_name[tok.type]
+    return out
+
+
+def count_module(module) -> tuple[int, int]:
+    """(total, core) lines of an imported baseline module."""
+    return count_python(inspect.getsource(module))
+
+
+def table1_rows() -> list[dict]:
+    """Recompute Table 1: LOC (total:core) for baseline vs Diderot, plus
+    strand counts (ours and the paper's)."""
+    from repro import baselines, programs
+
+    paper = {
+        "vr-lite": ((223, 44), (68, 26)),
+        "illust-vr": ((324, 61), (83, 39)),
+        "lic2d": ((260, 66), (53, 32)),
+        "ridge3d": ((360, 55), (44, 24)),
+    }
+    rows = []
+    for name in ("vr-lite", "illust-vr", "lic2d", "ridge3d"):
+        pmod = programs.ALL[name]
+        bmod = baselines.ALL[name]
+        d_total, d_core = count_diderot(pmod.SOURCE)
+        b_total, b_core = count_module(bmod)
+        rows.append(
+            {
+                "program": name,
+                "baseline_loc": (b_total, b_core),
+                "diderot_loc": (d_total, d_core),
+                "paper_teem_loc": paper[name][0],
+                "paper_diderot_loc": paper[name][1],
+                "paper_strands": pmod.PAPER_STRANDS,
+            }
+        )
+    return rows

@@ -1,0 +1,15 @@
+"""Code generation backends.
+
+* :mod:`repro.core.codegen.pygen` — the production backend: LowIR →
+  Python/NumPy source, data-parallel across strands (DESIGN.md deviation
+  2: the original's per-strand SSE vectorization becomes across-strand
+  array programming).
+* :mod:`repro.core.codegen.interp` — a reference interpreter that executes
+  HighIR directly against the :mod:`repro.fields` runtime objects,
+  bypassing probe synthesis entirely; used to differentially test the
+  lowering pipeline.
+"""
+
+from repro.core.codegen.pygen import generate_module
+
+__all__ = ["generate_module"]

@@ -1,0 +1,135 @@
+"""The compiler driver: source text → runnable program.
+
+Mirrors the paper's pipeline (§5.1): parse → type check → simplify →
+HighIR → field normalization (inside HighIR construction) → contraction +
+value numbering → MidIR (probe synthesis) → contraction + value numbering
+→ LowIR (kernel expansion) → contraction + value numbering → Python/NumPy
+code generation.
+
+Optimizations can be disabled individually (``optimize=...``) to support
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.codegen.pygen import generate_module, load_module
+from repro.core.ir import ops as irops
+from repro.core.syntax import parse_program
+from repro.core.ty import check_program
+from repro.core.xform.contract import contract
+from repro.core.xform.to_high import HighBuilder, HighProgram
+from repro.core.xform.to_low import to_low
+from repro.core.xform.to_mid import to_mid
+from repro.core.xform.value_numbering import value_number
+from repro.errors import CompileError
+
+
+@dataclass
+class OptOptions:
+    """Optimization toggles (both on by default, as in the paper)."""
+
+    contraction: bool = True
+    value_numbering: bool = True
+
+
+@dataclass
+class CompileStats:
+    """Per-function instruction counts across the pipeline, for the
+    §5.4 optimization ablations."""
+
+    high_instrs: dict[str, int] = field(default_factory=dict)
+    mid_instrs: dict[str, int] = field(default_factory=dict)
+    mid_instrs_unopt: dict[str, int] = field(default_factory=dict)
+    low_instrs: dict[str, int] = field(default_factory=dict)
+    vn_removed: dict[str, int] = field(default_factory=dict)
+
+
+def _count(func) -> int:
+    return sum(1 for _ in func.body.instructions())
+
+
+def _optimize(func, vocab, opts: OptOptions, stats_removed: dict) -> None:
+    if opts.contraction:
+        contract(func, vocab)
+    if opts.value_numbering:
+        removed = value_number(func)
+        stats_removed[func.name] = stats_removed.get(func.name, 0) + removed
+    if opts.contraction:
+        contract(func, vocab)
+
+
+def compile_to_source(
+    source: str,
+    optimize: OptOptions | None = None,
+) -> tuple[str, HighProgram, CompileStats]:
+    """Compile Diderot source to generated Python source + metadata."""
+    opts = optimize or OptOptions()
+    prog = parse_program(source)
+    typed = check_program(prog)
+    hp = HighBuilder(typed).build()
+    stats = CompileStats()
+    funcs = HighBuilder.all_funcs(hp)
+    for fn in funcs:
+        stats.high_instrs[fn.name] = _count(fn)
+        _optimize(fn, irops.HIGH, opts, stats.vn_removed)
+        to_mid(fn, hp.images)
+        stats.mid_instrs_unopt[fn.name] = _count(fn)
+        _optimize(fn, irops.MID, opts, stats.vn_removed)
+        stats.mid_instrs[fn.name] = _count(fn)
+        to_low(fn)
+        _optimize(fn, irops.LOW, opts, stats.vn_removed)
+        stats.low_instrs[fn.name] = _count(fn)
+    source_out = generate_module(funcs)
+    return source_out, hp, stats
+
+
+def compile_program(
+    source: str,
+    precision: str = "double",
+    optimize: OptOptions | None = None,
+    search_path: str = ".",
+):
+    """Compile Diderot source text into a runnable Program.
+
+    Parameters
+    ----------
+    source:
+        Diderot program text.
+    precision:
+        ``"single"`` or ``"double"`` — the representation of ``real``
+        (paper §6.3: "the user must decide if reals are represented as
+        single or double-precision floats").
+    optimize:
+        Optimization toggles; defaults to everything on.
+    search_path:
+        Directory against which ``load(...)`` paths resolve.
+    """
+    from repro.runtime.program import Program
+
+    if precision not in ("single", "double"):
+        raise CompileError(f"precision must be 'single' or 'double', got {precision!r}")
+    dtype = np.float32 if precision == "single" else np.float64
+    gen_source, hp, stats = compile_to_source(source, optimize)
+    namespace = load_module(gen_source)
+    return Program(
+        high=hp,
+        namespace=namespace,
+        generated_source=gen_source,
+        dtype=dtype,
+        search_path=search_path,
+        stats=stats,
+    )
+
+
+def compile_file(path: str, **kwargs):
+    """Compile a ``.diderot`` file (load paths resolve next to it)."""
+    import os
+
+    with open(path, encoding="utf-8") as fp:
+        src = fp.read()
+    kwargs.setdefault("search_path", os.path.dirname(os.path.abspath(path)))
+    return compile_program(src, **kwargs)

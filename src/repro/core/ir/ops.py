@@ -1,0 +1,136 @@
+"""Operator vocabularies for the three IR levels.
+
+Each level is a dict mapping op name → :class:`OpInfo`.  The translation
+passes in :mod:`repro.core.xform` replace higher-level ops with their
+lower-level equivalents (paper §5.1: "the translations between these
+representations replaces higher-level operations with their equivalent
+lower-level operations"); :func:`repro.core.ir.base.validate` enforces that
+each function only uses its level's vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static op metadata.
+
+    ``foldable`` ops can be constant-folded by contraction when all
+    arguments are constants; every op in these vocabularies is pure (no
+    side effects), which is what makes value numbering sound everywhere.
+    """
+
+    doc: str
+    foldable: bool = True
+
+
+#: ops common to every level: arithmetic, comparisons, small-tensor math.
+_COMMON: dict[str, OpInfo] = {
+    "const": OpInfo("literal constant; attrs: value"),
+    "add": OpInfo("addition (int or tensor)"),
+    "sub": OpInfo("subtraction"),
+    "mul": OpInfo("multiplication (int*int or scalar*tensor)"),
+    "div": OpInfo("division (int trunc-div or tensor/scalar)"),
+    "mod": OpInfo("int remainder (C semantics)"),
+    "neg": OpInfo("negation"),
+    "pow": OpInfo("power (real^int or real^real)"),
+    "eq": OpInfo("equality"),
+    "ne": OpInfo("inequality"),
+    "lt": OpInfo("less-than"),
+    "le": OpInfo("less-or-equal"),
+    "gt": OpInfo("greater-than"),
+    "ge": OpInfo("greater-or-equal"),
+    "and": OpInfo("boolean and (strict)"),
+    "or": OpInfo("boolean or (strict)"),
+    "not": OpInfo("boolean not"),
+    "select": OpInfo("strict conditional value: select(cond, a, b)"),
+    "dot": OpInfo("inner product u•v / matrix-vector / matrix-matrix"),
+    "cross": OpInfo("cross product (3-D) or scalar cross (2-D)"),
+    "outer": OpInfo("tensor product u⊗v"),
+    "norm": OpInfo("|t|: Euclidean / Frobenius norm; attrs: order"),
+    "trace": OpInfo("matrix trace"),
+    "det": OpInfo("matrix determinant"),
+    "transpose": OpInfo("matrix transpose"),
+    "evals": OpInfo("symmetric eigenvalues, descending"),
+    "evecs": OpInfo("symmetric eigenvectors (rows), matching evals"),
+    "normalize_v": OpInfo("unit vector (zero maps to zero)"),
+    "tensor_cons": OpInfo("stack args along a new leading axis"),
+    "tensor_index": OpInfo("constant indexing; attrs: indices"),
+    "identity": OpInfo("identity matrix; attrs: n"),
+    "sqrt": OpInfo("square root"),
+    "sin": OpInfo("sine"), "cos": OpInfo("cosine"), "tan": OpInfo("tangent"),
+    "asin": OpInfo("arcsine"), "acos": OpInfo("arccosine"), "atan": OpInfo("arctangent"),
+    "exp": OpInfo("exponential"), "log": OpInfo("natural log"),
+    "atan2": OpInfo("two-argument arctangent"),
+    "fmod": OpInfo("floating remainder"),
+    "floor": OpInfo("floor"), "ceil": OpInfo("ceiling"),
+    "min": OpInfo("minimum"), "max": OpInfo("maximum"), "abs": OpInfo("absolute value"),
+    "clamp": OpInfo("clamp(lo, hi, x)"),
+    "lerp": OpInfo("lerp(a, b, t)"),
+    "int_to_real": OpInfo("int → real cast"),
+    "real_to_int": OpInfo("real → int cast (truncating)"),
+}
+
+#: HighIR: the desugared source language — fields appear only as probes of
+#: normalized convolutions (after field normalization).
+HIGH: dict[str, OpInfo] = {
+    **_COMMON,
+    "probe": OpInfo(
+        "probe V ⊛ ∇ⁱh at a world position; attrs: image, kernel, deriv, "
+        "out_shape",
+        foldable=False,
+    ),
+    "inside": OpInfo(
+        "domain test for a convolution field; attrs: image, support",
+        foldable=False,
+    ),
+}
+
+#: MidIR: "supports vectors, transforms between coordinate spaces, loading
+#: image data, and kernel evaluations.  At this stage, fields and probes
+#: have been compiled away" (§5.1).
+MID: dict[str, OpInfo] = {
+    **_COMMON,
+    "to_index": OpInfo("world → image-index position; attrs: image", foldable=False),
+    "floor_i": OpInfo("integer part of an index position (int vector)"),
+    "fract": OpInfo("fractional part of an index position"),
+    "gather": OpInfo(
+        "load the (2s)^d sample neighborhood; attrs: image, support",
+        foldable=False,
+    ),
+    "weights": OpInfo(
+        "per-axis kernel weight vector h⁽ʳ⁾(f-i); attrs: kernel, deriv",
+        foldable=False,
+    ),
+    "conv_contract": OpInfo(
+        "contract a gathered neighborhood with per-axis weights; "
+        "attrs: image (for the sample tensor shape)",
+        foldable=False,
+    ),
+    "deriv_assemble": OpInfo(
+        "assemble per-derivative-combo contractions into one tensor; "
+        "attrs: tshape, dim, deriv"
+    ),
+    "grad_xform": OpInfo(
+        "apply M⁻ᵀ to the derivative axes of a probe result; "
+        "attrs: image, deriv",
+        foldable=False,
+    ),
+    "index_inside": OpInfo(
+        "bounds test on floor indices; attrs: image, support", foldable=False
+    ),
+}
+
+#: LowIR: "basic operations on vectors, scalars, and memory objects" —
+#: kernel weight evaluation is now explicit Horner arithmetic.
+LOW: dict[str, OpInfo] = {k: v for k, v in MID.items() if k != "weights"}
+LOW.update(
+    {
+        "horner": OpInfo(
+            "evaluate a fixed polynomial by Horner's rule; attrs: coeffs"
+        ),
+        "vec_cons": OpInfo("pack scalar values into a vector"),
+    }
+)

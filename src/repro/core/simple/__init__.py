@@ -1,0 +1,21 @@
+"""Simplification: AST→AST rewrites before IR construction (paper §5.1)."""
+
+from repro.core.simple.simplify import (
+    RUNNING,
+    STABILIZE,
+    DIE,
+    STATUS_VAR,
+    eliminate_exits,
+    hoist_field_conditionals,
+    simplify_method,
+)
+
+__all__ = [
+    "DIE",
+    "RUNNING",
+    "STABILIZE",
+    "STATUS_VAR",
+    "eliminate_exits",
+    "hoist_field_conditionals",
+    "simplify_method",
+]

@@ -1,0 +1,211 @@
+"""The simplification phase (paper §5.1).
+
+Two rewrites on the *typed* AST prepare a strand method for SSA
+construction:
+
+1. **Field-conditional duplication.**  "We also duplicate code, as
+   necessary, to ensure that fields are statically determined": an
+   operation applied to a field-typed conditional is pushed into both
+   branches, e.g. ``(F1 if b else F2)(x)`` becomes
+   ``F1(x) if b else F2(x)``.  The paper notes this can cause exponential
+   growth in pathological programs; in practice field conditionals are
+   rare and shallow.
+
+2. **Early-exit elimination.**  ``stabilize``/``die`` cease execution of
+   the update method immediately (§3.3.2).  We lower them to assignments
+   of a synthetic ``int`` status variable (``$status``), guarding the
+   statements that follow an exiting conditional with
+   ``if ($status == RUNNING)``.  The result has single-exit structured
+   control flow, which is what lets the whole method compile to predicated
+   straight-line SSA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.syntax import ast
+from repro.core.syntax.source import Span
+from repro.core.ty.types import BOOL, FieldTy, INT
+
+#: synthetic local tracking the strand's exit status within one update call.
+STATUS_VAR = "$status"
+RUNNING = 0
+STABILIZE = 1
+DIE = 2
+
+_SPAN = Span(0, 0)
+
+
+# --------------------------------------------------------------------------
+# 1. field-conditional duplication
+
+
+def _is_field_cond(e) -> bool:
+    return isinstance(e, ast.Cond) and isinstance(e.ty, FieldTy)
+
+
+def _expr_children(e: ast.Expr) -> list[tuple[str, object]]:
+    """(field_name, value) pairs for the expression-valued children."""
+    out = []
+    for f in dataclasses.fields(e):
+        v = getattr(e, f.name)
+        if isinstance(v, ast.Expr):
+            out.append((f.name, v))
+        elif isinstance(v, list) and v and all(isinstance(x, ast.Expr) for x in v):
+            out.append((f.name, v))
+    return out
+
+
+def _replace_child(e: ast.Expr, name: str, new) -> ast.Expr:
+    """A shallow copy of ``e`` with one child replaced, preserving ``ty``."""
+    copy = dataclasses.replace(e, **{name: new})
+    copy.ty = e.ty
+    return copy
+
+
+def hoist_field_conditionals(e: ast.Expr) -> ast.Expr:
+    """Push operations on field-typed conditionals into the branches.
+
+    After this rewrite no field-typed ``Cond`` remains *under* another
+    operation; a field-typed Cond may only survive at top level of a
+    field-typed expression (where it is consumed by a declaration, which
+    the symbolic evaluator handles by the same duplication).
+    """
+    # rewrite children first
+    for name, child in _expr_children(e):
+        if isinstance(child, list):
+            new_list = [hoist_field_conditionals(c) for c in child]
+            if any(n is not o for n, o in zip(new_list, child)):
+                e = _replace_child(e, name, new_list)
+        else:
+            new_child = hoist_field_conditionals(child)
+            if new_child is not child:
+                e = _replace_child(e, name, new_child)
+    # If e itself is an operation over a field-typed Cond child, distribute.
+    # (A field-typed Cond that *is* e stays; its consumer distributes.)
+    if isinstance(e, ast.Cond):
+        return e
+    for name, child in _expr_children(e):
+        if isinstance(child, list):
+            for i, c in enumerate(child):
+                if _is_field_cond(c):
+                    then_list = list(child)
+                    then_list[i] = c.then_e
+                    else_list = list(child)
+                    else_list[i] = c.else_e
+                    then_e = hoist_field_conditionals(
+                        _replace_child(e, name, then_list)
+                    )
+                    else_e = hoist_field_conditionals(
+                        _replace_child(e, name, else_list)
+                    )
+                    out = ast.Cond(e.span, then_e, c.cond, else_e)
+                    out.ty = e.ty
+                    return out
+        elif _is_field_cond(child):
+            then_e = hoist_field_conditionals(_replace_child(e, name, child.then_e))
+            else_e = hoist_field_conditionals(_replace_child(e, name, child.else_e))
+            out = ast.Cond(e.span, then_e, child.cond, else_e)
+            out.ty = e.ty
+            return out
+    return e
+
+
+def _map_exprs_stmt(s: ast.Stmt, fn) -> ast.Stmt:
+    if isinstance(s, ast.Block):
+        return ast.Block(s.span, [_map_exprs_stmt(x, fn) for x in s.stmts])
+    if isinstance(s, ast.DeclStmt):
+        return ast.DeclStmt(s.span, s.ty_expr, s.name, fn(s.init))
+    if isinstance(s, ast.AssignStmt):
+        return ast.AssignStmt(s.span, s.name, s.op, fn(s.value))
+    if isinstance(s, ast.IfStmt):
+        return ast.IfStmt(
+            s.span,
+            fn(s.cond),
+            _map_exprs_stmt(s.then_s, fn),
+            None if s.else_s is None else _map_exprs_stmt(s.else_s, fn),
+        )
+    return s
+
+
+# --------------------------------------------------------------------------
+# 2. early-exit elimination
+
+
+def _may_exit(s: ast.Stmt) -> bool:
+    if isinstance(s, (ast.StabilizeStmt, ast.DieStmt)):
+        return True
+    if isinstance(s, ast.Block):
+        return any(_may_exit(x) for x in s.stmts)
+    if isinstance(s, ast.IfStmt):
+        return _may_exit(s.then_s) or (s.else_s is not None and _may_exit(s.else_s))
+    return False
+
+
+def _status_assign(code: int) -> ast.AssignStmt:
+    lit = ast.IntLit(_SPAN, code)
+    lit.ty = INT
+    return ast.AssignStmt(_SPAN, STATUS_VAR, "=", lit)
+
+
+def _running_guard(body: list[ast.Stmt]) -> ast.IfStmt:
+    status = ast.Var(_SPAN, STATUS_VAR)
+    status.ty = INT
+    zero = ast.IntLit(_SPAN, RUNNING)
+    zero.ty = INT
+    cond = ast.BinOp(_SPAN, "==", status, zero)
+    cond.ty = BOOL
+    return ast.IfStmt(_SPAN, cond, ast.Block(_SPAN, body), None)
+
+
+def eliminate_exits(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Rewrite a statement list into single-exit form.
+
+    ``stabilize``/``die`` become assignments to ``$status``; statements
+    following a possibly-exiting conditional are wrapped in an
+    ``if ($status == RUNNING)`` guard.  Statements after an unconditional
+    exit are unreachable and dropped.
+    """
+    out: list[ast.Stmt] = []
+    for i, s in enumerate(stmts):
+        if isinstance(s, ast.StabilizeStmt):
+            out.append(_status_assign(STABILIZE))
+            return out  # rest unreachable
+        if isinstance(s, ast.DieStmt):
+            out.append(_status_assign(DIE))
+            return out
+        if isinstance(s, ast.Block):
+            inner = eliminate_exits(s.stmts)
+            out.append(ast.Block(s.span, inner))
+            if _may_exit(s):
+                rest = eliminate_exits(stmts[i + 1:])
+                if rest:
+                    out.append(_running_guard(rest))
+                return out
+            continue
+        if isinstance(s, ast.IfStmt):
+            then_s = ast.Block(s.then_s.span, eliminate_exits([s.then_s]))
+            else_s = (
+                None
+                if s.else_s is None
+                else ast.Block(s.else_s.span, eliminate_exits([s.else_s]))
+            )
+            out.append(ast.IfStmt(s.span, s.cond, then_s, else_s))
+            if _may_exit(s):
+                rest = eliminate_exits(stmts[i + 1:])
+                if rest:
+                    out.append(_running_guard(rest))
+                return out
+            continue
+        out.append(s)
+    return out
+
+
+def simplify_method(body: ast.Block, is_update: bool) -> ast.Block:
+    """Apply both simplification rewrites to a method body."""
+    stmts = body.stmts
+    if is_update:
+        stmts = eliminate_exits(stmts)
+    new = ast.Block(body.span, [_map_exprs_stmt(s, hoist_field_conditionals) for s in stmts])
+    return new

@@ -1,0 +1,8 @@
+"""Surface syntax: source locations, tokens, lexer, AST, and parser."""
+
+from repro.core.syntax.source import Span
+from repro.core.syntax.lexer import tokenize
+from repro.core.syntax.parser import parse_program
+from repro.core.syntax import ast
+
+__all__ = ["Span", "ast", "parse_program", "tokenize"]

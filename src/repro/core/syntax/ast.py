@@ -1,0 +1,312 @@
+"""Surface abstract syntax for Diderot programs (paper §3).
+
+A program is three sections: global definitions, a strand definition, and an
+``initially`` clause (§3.3).  Expression nodes carry an optional ``ty`` slot
+filled in by the type checker, turning this into the "typed AST" of §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.syntax.source import Span
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    span: Span
+
+
+# --------------------------------------------------------------------------
+# types as written in source (resolved by the type checker)
+
+
+@dataclass
+class TyExpr(Node):
+    """A source-level type annotation.
+
+    ``kind`` is one of ``bool int string real tensor vec image kernel
+    field``; the remaining slots are meaningful per kind:
+
+    * ``tensor``: ``shape`` — list of ints;
+    * ``vec``: ``shape == [n]``;
+    * ``image``/``field``: ``dim`` and ``shape``;
+    * ``kernel``/``field``: ``continuity``.
+    """
+
+    kind: str
+    span: Span
+    shape: list[int] = field(default_factory=list)
+    dim: Optional[int] = None
+    continuity: Optional[int] = None
+
+
+# --------------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expr(Node):
+    span: Span
+
+    def __post_init__(self):
+        self.ty = None  # filled by the type checker
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class RealLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation; ``op`` is the surface spelling.
+
+    Ops: ``+ - * / % ^ == != < <= > >= && || ⊛ • × ⊗``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operation; ``op`` in ``- ! ∇ ∇⊗ ∇• ∇×``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Cond(Expr):
+    """Python-style conditional: ``then_e if cond else else_e`` (§3.3.2)."""
+
+    then_e: Expr
+    cond: Expr
+    else_e: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Application ``f(args)``.
+
+    ``f`` may name a builtin function, or a field variable — in which case
+    this is a probe (§3.2); the type checker distinguishes.
+    """
+
+    func: str
+    args: list[Expr]
+
+
+@dataclass
+class Probe(Expr):
+    """Probe of a compound field expression: ``(∇F)(pos)``, ``(F1 if b
+    else F2)(x)``.
+
+    Simple probes of a field *variable* parse as :class:`Call`; this node
+    covers probes whose field part is itself an expression.
+    """
+
+    field: Expr
+    pos: Expr
+
+
+@dataclass
+class Index(Expr):
+    """Tensor indexing ``e[i]`` / ``e[i, j]`` with constant indices."""
+
+    base: Expr
+    indices: list[Expr]
+
+
+@dataclass
+class TensorCons(Expr):
+    """Tensor construction ``[e1, ..., en]`` (elements may be nested)."""
+
+    elements: list[Expr]
+
+
+@dataclass
+class Norm(Expr):
+    """``|e|``: absolute value / vector norm / Frobenius norm."""
+
+    operand: Expr
+
+
+@dataclass
+class Identity(Expr):
+    """``identity[n]``: the n×n identity matrix (Figure 3, line 9)."""
+
+    n: int
+
+
+@dataclass
+class Load(Expr):
+    """``load("file.nrrd")``: image loading, global section only (§3.3.1)."""
+
+    path: str
+
+
+# --------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Stmt(Node):
+    span: Span
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local variable declaration ``type x = e;``."""
+
+    ty_expr: TyExpr
+    name: str
+    init: Expr
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """Assignment ``x = e;`` or compound ``x op= e;`` (op in ``+ - * /``)."""
+
+    name: str
+    op: str  # '=', '+=', '-=', '*=', '/='
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_s: Stmt
+    else_s: Optional[Stmt]
+
+
+@dataclass
+class StabilizeStmt(Stmt):
+    """``stabilize;`` — the strand ceases to be updated (§3.3.2)."""
+
+
+@dataclass
+class DieStmt(Stmt):
+    """``die;`` — the strand is removed and produces no output (§4.3)."""
+
+
+# --------------------------------------------------------------------------
+# declarations and program structure
+
+
+@dataclass
+class GlobalDecl(Node):
+    """Global (optionally ``input``) variable definition (§3.3.1)."""
+
+    ty_expr: TyExpr
+    name: str
+    init: Optional[Expr]
+    is_input: bool
+    span: Span
+
+
+@dataclass
+class Param(Node):
+    ty_expr: TyExpr
+    name: str
+    span: Span
+
+
+@dataclass
+class StateVar(Node):
+    """Strand state variable, possibly ``output`` (§3.3.2)."""
+
+    ty_expr: TyExpr
+    name: str
+    init: Expr
+    is_output: bool
+    span: Span
+
+
+@dataclass
+class Method(Node):
+    """``update`` or ``stabilize`` method."""
+
+    name: str
+    body: Block
+    span: Span
+
+
+@dataclass
+class StrandDecl(Node):
+    name: str
+    params: list[Param]
+    state: list[StateVar]
+    methods: list[Method]
+    span: Span
+
+    def method(self, name: str) -> Optional[Method]:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        return None
+
+
+@dataclass
+class IterRange(Node):
+    """One comprehension iterator ``x in lo .. hi`` (inclusive bounds)."""
+
+    name: str
+    lo: Expr
+    hi: Expr
+    span: Span
+
+
+@dataclass
+class Initially(Node):
+    """The initialization section (§3.3.3).
+
+    ``kind`` is ``"grid"`` for ``[...]`` (output keeps the grid structure)
+    or ``"collection"`` for ``{...}`` (output is the 1-D array of stable
+    strands).  Iterators nest right-to-left: the *last* iterator varies
+    fastest, matching the paper's Figure 1 where ``vi`` indexes rows and
+    ``ui`` columns.
+    """
+
+    kind: str
+    strand: str
+    args: list[Expr]
+    iters: list[IterRange]
+    span: Span
+
+
+@dataclass
+class Program(Node):
+    globals: list[GlobalDecl]
+    strand: StrandDecl
+    initially: Initially
+    span: Span

@@ -1,0 +1,183 @@
+"""Hand-written lexer for the Diderot surface language."""
+
+from __future__ import annotations
+
+from repro.core.syntax.source import Span
+from repro.core.syntax.tokens import KEYWORDS, T, UNICODE_OPS, Token
+from repro.errors import SyntaxErrorD
+
+_PUNCT2 = {
+    "..": T.DOTDOT,
+    "==": T.EQEQ,
+    "!=": T.NEQ,
+    "<=": T.LEQ,
+    ">=": T.GEQ,
+    "&&": T.ANDAND,
+    "||": T.OROR,
+    "+=": T.PLUS_EQ,
+    "-=": T.MINUS_EQ,
+    "*=": T.TIMES_EQ,
+    "/=": T.DIV_EQ,
+}
+
+_PUNCT1 = {
+    "(": T.LPAREN, ")": T.RPAREN,
+    "[": T.LBRACKET, "]": T.RBRACKET,
+    "{": T.LBRACE, "}": T.RBRACE,
+    ",": T.COMMA, ";": T.SEMI, ":": T.COLON,
+    "#": T.HASH, "|": T.BAR,
+    "=": T.ASSIGN,
+    "+": T.PLUS, "-": T.MINUS, "*": T.TIMES, "/": T.DIV, "%": T.MOD,
+    "^": T.CARET,
+    "<": T.LT, ">": T.GT, "!": T.BANG,
+    "@": T.CONVOLVE,
+}
+
+
+def tokenize(src: str) -> list[Token]:
+    """Tokenize Diderot source text.
+
+    Comments run from ``//`` to end of line (the paper's examples use
+    C++-style comments).  Raises :class:`SyntaxErrorD` on stray characters
+    or unterminated strings.
+    """
+    toks: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+
+    def span(ncols: int = 1) -> Span:
+        return Span(line, col, line, col + ncols)
+
+    while i < n:
+        c = src[i]
+        # whitespace
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if src.startswith("//", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if src.startswith("/*", i):
+            start = span()
+            i += 2
+            col += 2
+            while i < n and not src.startswith("*/", i):
+                if src[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            if i >= n:
+                raise SyntaxErrorD("unterminated block comment", start)
+            i += 2
+            col += 2
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            text = src[i:j]
+            sp = span(j - i)
+            if text == "nabla":
+                toks.append(Token(T.NABLA, text, sp))
+            elif text == "π":
+                # π is alphabetic, so it arrives here rather than in the
+                # Unicode-operator branch; it is the builtin constant pi
+                toks.append(Token(T.ID, "pi", sp))
+            else:
+                # Keywords are lexed as IDs; the parser matches them by text
+                # and KEYWORDS only blocks their use as variable names.
+                toks.append(Token(T.ID, text, sp))
+            col += j - i
+            i = j
+            continue
+        # numbers
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            is_real = False
+            while j < n and src[j].isdigit():
+                j += 1
+            if j < n and src[j] == "." and not src.startswith("..", j):
+                is_real = True
+                j += 1
+                while j < n and src[j].isdigit():
+                    j += 1
+            if j < n and src[j] in "eE":
+                k = j + 1
+                if k < n and src[k] in "+-":
+                    k += 1
+                if k < n and src[k].isdigit():
+                    is_real = True
+                    j = k
+                    while j < n and src[j].isdigit():
+                        j += 1
+            text = src[i:j]
+            sp = span(j - i)
+            if is_real:
+                toks.append(Token(T.REAL, text, sp, float(text)))
+            else:
+                toks.append(Token(T.INT, text, sp, int(text)))
+            col += j - i
+            i = j
+            continue
+        # strings
+        if c == '"':
+            j = i + 1
+            buf = []
+            while j < n and src[j] != '"':
+                if src[j] == "\n":
+                    raise SyntaxErrorD("unterminated string literal", span())
+                if src[j] == "\\" and j + 1 < n:
+                    esc = src[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(src[j])
+                    j += 1
+            if j >= n:
+                raise SyntaxErrorD("unterminated string literal", span())
+            text = src[i : j + 1]
+            toks.append(Token(T.STRING, text, span(j + 1 - i), "".join(buf)))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Unicode operators
+        if c in UNICODE_OPS:
+            toks.append(Token(UNICODE_OPS[c], c, span()))
+            i += 1
+            col += 1
+            continue
+        if c == "π":
+            toks.append(Token(T.ID, "pi", span()))
+            i += 1
+            col += 1
+            continue
+        # two-char punctuation
+        two = src[i : i + 2]
+        if two in _PUNCT2:
+            toks.append(Token(_PUNCT2[two], two, span(2)))
+            i += 2
+            col += 2
+            continue
+        # one-char punctuation
+        if c in _PUNCT1:
+            toks.append(Token(_PUNCT1[c], c, span()))
+            i += 1
+            col += 1
+            continue
+        raise SyntaxErrorD(f"unexpected character {c!r}", span())
+
+    toks.append(Token(T.EOF, "", Span(line, col, line, col)))
+    return toks

@@ -1,0 +1,556 @@
+"""Recursive-descent parser for the Diderot surface language (paper §3).
+
+Grammar (C-like statements, mathematical expression operators):
+
+.. code-block:: text
+
+   program    ::= global* strand initially
+   global     ::= 'input' type ID ('=' expr)? ';'
+                | type ID '=' expr ';'
+   strand     ::= 'strand' ID '(' params? ')' '{' state* method+ '}'
+   state      ::= 'output'? type ID '=' expr ';'
+   method     ::= ('update' | 'stabilize') block
+   stmt       ::= block | decl | assign | if | 'stabilize' ';' | 'die' ';'
+   initially  ::= 'initially' ('[' comp ']' | '{' comp '}') ';'
+   comp       ::= ID '(' exprs ')' '|' iter (',' iter)*
+   iter       ::= ID 'in' expr '..' expr
+
+Expression precedence, loosest to tightest (the conditional uses Python's
+``a if c else b`` syntax, §3.3.2):
+
+.. code-block:: text
+
+   cond > or > and > comparison > additive > multiplicative(* / % ⊛ • × ⊗)
+        > unary(- ! ∇ ∇⊗ ∇• ∇×) > power(^) > postfix(call, index) > primary
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import ast
+from repro.core.syntax.lexer import tokenize
+from repro.core.syntax.source import Span
+from repro.core.syntax.tokens import KEYWORDS, T, Token
+from repro.errors import SyntaxErrorD
+
+#: words that begin a type annotation
+_TYPE_STARTERS = {
+    "bool", "int", "string", "real", "vec2", "vec3", "vec4", "tensor",
+    "image", "kernel", "field",
+}
+
+_CMP_OPS = {T.EQEQ: "==", T.NEQ: "!=", T.LT: "<", T.LEQ: "<=", T.GT: ">", T.GEQ: ">="}
+_ADD_OPS = {T.PLUS: "+", T.MINUS: "-"}
+_MUL_OPS = {
+    T.TIMES: "*", T.DIV: "/", T.MOD: "%",
+    T.CONVOLVE: "⊛", T.DOT_OP: "•", T.CROSS_OP: "×", T.OUTER_OP: "⊗",
+}
+
+
+class Parser:
+    def __init__(self, src: str):
+        self.toks = tokenize(src)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        i = min(self.pos + ahead, len(self.toks) - 1)
+        return self.toks[i]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: T, what: str = "") -> Token:
+        if self.cur.kind is not kind:
+            want = what or kind.name
+            raise SyntaxErrorD(
+                f"expected {want}, found {self.cur.text or 'end of input'!r}",
+                self.cur.span,
+            )
+        return self.advance()
+
+    def expect_word(self, word: str) -> Token:
+        if self.cur.kind is not T.ID or self.cur.text != word:
+            raise SyntaxErrorD(
+                f"expected {word!r}, found {self.cur.text or 'end of input'!r}",
+                self.cur.span,
+            )
+        return self.advance()
+
+    def at_word(self, word: str) -> bool:
+        return self.cur.kind is T.ID and self.cur.text == word
+
+    def eat_word(self, word: str) -> bool:
+        if self.at_word(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_name(self) -> Token:
+        tok = self.expect(T.ID, "an identifier")
+        if tok.text in KEYWORDS:
+            raise SyntaxErrorD(f"{tok.text!r} is a reserved word", tok.span)
+        return tok
+
+    # -- program structure ----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        start = self.cur.span
+        globals_: list[ast.GlobalDecl] = []
+        while not self.at_word("strand"):
+            if self.cur.kind is T.EOF:
+                raise SyntaxErrorD("missing strand definition", self.cur.span)
+            globals_.append(self.parse_global())
+        strand = self.parse_strand()
+        init = self.parse_initially()
+        self.expect(T.EOF, "end of program")
+        return ast.Program(globals_, strand, init, start.to(init.span))
+
+    def parse_global(self) -> ast.GlobalDecl:
+        start = self.cur.span
+        is_input = self.eat_word("input")
+        ty = self.parse_type()
+        name = self.expect_name()
+        init = None
+        if self.cur.kind is T.ASSIGN:
+            self.advance()
+            init = self.parse_expr()
+        elif not is_input:
+            raise SyntaxErrorD(
+                f"global {name.text!r} must be initialized (only 'input' "
+                "globals may omit '= ...')",
+                name.span,
+            )
+        semi = self.expect(T.SEMI, "';'")
+        return ast.GlobalDecl(ty, name.text, init, is_input, start.to(semi.span))
+
+    def parse_strand(self) -> ast.StrandDecl:
+        start = self.expect_word("strand").span
+        name = self.expect_name()
+        self.expect(T.LPAREN, "'('")
+        params: list[ast.Param] = []
+        if self.cur.kind is not T.RPAREN:
+            while True:
+                pty = self.parse_type()
+                pname = self.expect_name()
+                params.append(ast.Param(pty, pname.text, pname.span))
+                if self.cur.kind is T.COMMA:
+                    self.advance()
+                else:
+                    break
+        self.expect(T.RPAREN, "')'")
+        self.expect(T.LBRACE, "'{'")
+        state: list[ast.StateVar] = []
+        methods: list[ast.Method] = []
+        while self.cur.kind is not T.RBRACE:
+            if self.at_word("update") or (
+                self.at_word("stabilize") and self.peek().kind is T.LBRACE
+            ):
+                mname = self.advance().text
+                body = self.parse_block()
+                methods.append(ast.Method(mname, body, body.span))
+            elif self.cur.kind is T.EOF:
+                raise SyntaxErrorD("unterminated strand body", self.cur.span)
+            else:
+                if methods:
+                    raise SyntaxErrorD(
+                        "strand state variables must precede the methods",
+                        self.cur.span,
+                    )
+                sv_start = self.cur.span
+                is_output = self.eat_word("output")
+                sty = self.parse_type()
+                sname = self.expect_name()
+                self.expect(T.ASSIGN, "'='")
+                init = self.parse_expr()
+                semi = self.expect(T.SEMI, "';'")
+                state.append(
+                    ast.StateVar(sty, sname.text, init, is_output, sv_start.to(semi.span))
+                )
+        end = self.expect(T.RBRACE, "'}'")
+        if not any(m.name == "update" for m in methods):
+            raise SyntaxErrorD(
+                f"strand {name.text!r} has no update method", name.span
+            )
+        return ast.StrandDecl(name.text, params, state, methods, start.to(end.span))
+
+    def parse_initially(self) -> ast.Initially:
+        start = self.expect_word("initially").span
+        if self.cur.kind is T.LBRACKET:
+            kind, close = "grid", T.RBRACKET
+        elif self.cur.kind is T.LBRACE:
+            kind, close = "collection", T.RBRACE
+        else:
+            raise SyntaxErrorD("expected '[' or '{' after 'initially'", self.cur.span)
+        self.advance()
+        sname = self.expect_name()
+        self.expect(T.LPAREN, "'('")
+        args: list[ast.Expr] = []
+        if self.cur.kind is not T.RPAREN:
+            while True:
+                args.append(self.parse_expr())
+                if self.cur.kind is T.COMMA:
+                    self.advance()
+                else:
+                    break
+        self.expect(T.RPAREN, "')'")
+        self.expect(T.BAR, "'|'")
+        iters: list[ast.IterRange] = []
+        while True:
+            iname = self.expect_name()
+            self.expect_word("in")
+            lo = self.parse_range_bound()
+            self.expect(T.DOTDOT, "'..'")
+            hi = self.parse_range_bound()
+            iters.append(ast.IterRange(iname.text, lo, hi, iname.span.to(hi.span)))
+            if self.cur.kind is T.COMMA:
+                self.advance()
+            else:
+                break
+        self.expect(close, "comprehension close bracket")
+        end = self.expect(T.SEMI, "';'")
+        return ast.Initially(kind, sname.text, args, iters, start.to(end.span))
+
+    def parse_range_bound(self) -> ast.Expr:
+        # Range bounds stop at '..', which additive expressions don't contain.
+        return self.parse_additive()
+
+    # -- types -----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.cur.kind is T.ID and self.cur.text in _TYPE_STARTERS
+
+    def parse_type(self) -> ast.TyExpr:
+        tok = self.expect(T.ID, "a type")
+        word = tok.text
+        sp = tok.span
+        if word in ("bool", "int", "string", "real"):
+            return ast.TyExpr(word, sp)
+        if word in ("vec2", "vec3", "vec4"):
+            return ast.TyExpr("tensor", sp, shape=[int(word[3])])
+        if word == "tensor":
+            shape = self.parse_shape()
+            return ast.TyExpr("tensor", sp, shape=shape)
+        if word == "image":
+            self.expect(T.LPAREN, "'('")
+            dim = self.expect(T.INT, "a dimension").value
+            self.expect(T.RPAREN, "')'")
+            shape = self.parse_shape()
+            return ast.TyExpr("image", sp, shape=shape, dim=dim)
+        if word == "kernel":
+            self.expect(T.HASH, "'#'")
+            k = self.expect(T.INT, "a continuity level").value
+            return ast.TyExpr("kernel", sp, continuity=k)
+        if word == "field":
+            self.expect(T.HASH, "'#'")
+            k = self.expect(T.INT, "a continuity level").value
+            self.expect(T.LPAREN, "'('")
+            dim = self.expect(T.INT, "a dimension").value
+            self.expect(T.RPAREN, "')'")
+            shape = self.parse_shape()
+            return ast.TyExpr("field", sp, shape=shape, dim=dim, continuity=k)
+        raise SyntaxErrorD(f"expected a type, found {word!r}", sp)
+
+    def parse_shape(self) -> list[int]:
+        self.expect(T.LBRACKET, "'['")
+        shape: list[int] = []
+        if self.cur.kind is not T.RBRACKET:
+            while True:
+                shape.append(self.expect(T.INT, "a shape dimension").value)
+                if self.cur.kind is T.COMMA:
+                    self.advance()
+                else:
+                    break
+        self.expect(T.RBRACKET, "']'")
+        return shape
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect(T.LBRACE, "'{'").span
+        stmts: list[ast.Stmt] = []
+        while self.cur.kind is not T.RBRACE:
+            if self.cur.kind is T.EOF:
+                raise SyntaxErrorD("unterminated block", self.cur.span)
+            stmts.append(self.parse_stmt())
+        end = self.expect(T.RBRACE, "'}'")
+        return ast.Block(start.to(end.span), stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        if self.cur.kind is T.LBRACE:
+            return self.parse_block()
+        if self.at_word("if"):
+            return self.parse_if()
+        if self.at_word("stabilize"):
+            sp = self.advance().span
+            end = self.expect(T.SEMI, "';'")
+            return ast.StabilizeStmt(sp.to(end.span))
+        if self.at_word("die"):
+            sp = self.advance().span
+            end = self.expect(T.SEMI, "';'")
+            return ast.DieStmt(sp.to(end.span))
+        if self.at_type():
+            start = self.cur.span
+            ty = self.parse_type()
+            name = self.expect_name()
+            self.expect(T.ASSIGN, "'='")
+            init = self.parse_expr()
+            end = self.expect(T.SEMI, "';'")
+            return ast.DeclStmt(start.to(end.span), ty, name.text, init)
+        # assignment
+        name = self.expect_name()
+        opmap = {
+            T.ASSIGN: "=", T.PLUS_EQ: "+=", T.MINUS_EQ: "-=",
+            T.TIMES_EQ: "*=", T.DIV_EQ: "/=",
+        }
+        if self.cur.kind not in opmap:
+            raise SyntaxErrorD(
+                f"expected an assignment operator after {name.text!r}",
+                self.cur.span,
+            )
+        op = opmap[self.advance().kind]
+        value = self.parse_expr()
+        end = self.expect(T.SEMI, "';'")
+        return ast.AssignStmt(name.span.to(end.span), name.text, op, value)
+
+    def parse_if(self) -> ast.IfStmt:
+        start = self.expect_word("if").span
+        self.expect(T.LPAREN, "'('")
+        cond = self.parse_expr()
+        self.expect(T.RPAREN, "')'")
+        then_s = self.parse_stmt()
+        else_s = None
+        if self.eat_word("else"):
+            else_s = self.parse_stmt()
+        end = (else_s or then_s).span
+        return ast.IfStmt(start.to(end), cond, then_s, else_s)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_cond()
+
+    def parse_cond(self) -> ast.Expr:
+        then_e = self.parse_or()
+        if self.at_word("if"):
+            self.advance()
+            cond = self.parse_or()
+            self.expect_word("else")
+            else_e = self.parse_cond()  # right-associative chain (Figure 7)
+            return ast.Cond(then_e.span.to(else_e.span), then_e, cond, else_e)
+        return then_e
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.cur.kind is T.OROR:
+            self.advance()
+            right = self.parse_and()
+            left = ast.BinOp(left.span.to(right.span), "||", left, right)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_cmp()
+        while self.cur.kind is T.ANDAND:
+            self.advance()
+            right = self.parse_cmp()
+            left = ast.BinOp(left.span.to(right.span), "&&", left, right)
+        return left
+
+    def parse_cmp(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.cur.kind in _CMP_OPS:
+            op = _CMP_OPS[self.advance().kind]
+            right = self.parse_additive()
+            return ast.BinOp(left.span.to(right.span), op, left, right)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.cur.kind in _ADD_OPS:
+            op = _ADD_OPS[self.advance().kind]
+            right = self.parse_multiplicative()
+            left = ast.BinOp(left.span.to(right.span), op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.cur.kind in _MUL_OPS:
+            op = _MUL_OPS[self.advance().kind]
+            right = self.parse_unary()
+            left = ast.BinOp(left.span.to(right.span), op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind is T.MINUS:
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnOp(tok.span.to(operand.span), "-", operand)
+        if tok.kind is T.BANG:
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnOp(tok.span.to(operand.span), "!", operand)
+        if tok.kind is T.NABLA:
+            return self.parse_nabla()
+        return self.parse_power()
+
+    def parse_nabla(self) -> ast.Expr:
+        """A chain of differentiation operators applied to a field.
+
+        ``∇`` binds tighter than probing: ``∇F(pos)`` means ``(∇F)(pos)``
+        (Figure 1, line 26) and ``∇⊗∇F(pos)`` means ``(∇⊗(∇F))(pos)``
+        (Figure 3, line 8).  We collect the whole operator chain, apply it
+        to a primary field expression, then attach an optional probe.
+        """
+        start = self.cur.span
+        ops: list[str] = []
+        while self.cur.kind is T.NABLA:
+            self.advance()
+            op = "∇"
+            if self.cur.kind is T.OUTER_OP:
+                self.advance()
+                op = "∇⊗"
+            elif self.cur.kind is T.DOT_OP:
+                self.advance()
+                op = "∇•"
+            elif self.cur.kind is T.CROSS_OP:
+                self.advance()
+                op = "∇×"
+            ops.append(op)
+        base = self.parse_primary()
+        expr: ast.Expr = base
+        for op in reversed(ops):
+            expr = ast.UnOp(start.to(base.span), op, expr)
+        if self.cur.kind is T.LPAREN:
+            self.advance()
+            pos = self.parse_expr()
+            end = self.expect(T.RPAREN, "')'")
+            expr = ast.Probe(start.to(end.span), expr, pos)
+        return expr
+
+    def parse_power(self) -> ast.Expr:
+        base = self.parse_postfix()
+        if self.cur.kind is T.CARET:
+            self.advance()
+            exp = self.parse_unary()  # right-associative, allows -1 exponents
+            return ast.BinOp(base.span.to(exp.span), "^", base, exp)
+        return base
+
+    def parse_postfix(self) -> ast.Expr:
+        e = self.parse_primary()
+        while True:
+            if self.cur.kind is T.LPAREN and isinstance(e, ast.Var):
+                # call / probe: only name(args) is applicable in Diderot
+                self.advance()
+                args: list[ast.Expr] = []
+                if self.cur.kind is not T.RPAREN:
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.cur.kind is T.COMMA:
+                            self.advance()
+                        else:
+                            break
+                end = self.expect(T.RPAREN, "')'")
+                e = ast.Call(e.span.to(end.span), e.name, args)
+            elif self.cur.kind is T.LPAREN:
+                # probe of a compound field expression: (F1 if b else F2)(x)
+                self.advance()
+                pos = self.parse_expr()
+                end = self.expect(T.RPAREN, "')'")
+                e = ast.Probe(e.span.to(end.span), e, pos)
+            elif self.cur.kind is T.LBRACKET:
+                self.advance()
+                idx: list[ast.Expr] = []
+                while True:
+                    idx.append(self.parse_expr())
+                    if self.cur.kind is T.COMMA:
+                        self.advance()
+                    else:
+                        break
+                end = self.expect(T.RBRACKET, "']'")
+                e = ast.Index(e.span.to(end.span), e, idx)
+            else:
+                return e
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind is T.INT:
+            self.advance()
+            return ast.IntLit(tok.span, tok.value)
+        if tok.kind is T.REAL:
+            self.advance()
+            return ast.RealLit(tok.span, tok.value)
+        if tok.kind is T.STRING:
+            self.advance()
+            return ast.StringLit(tok.span, tok.value)
+        if tok.kind is T.LPAREN:
+            self.advance()
+            e = self.parse_expr()
+            self.expect(T.RPAREN, "')'")
+            return e
+        if tok.kind is T.BAR:
+            self.advance()
+            # Norm contents are tensor-valued, so parsing at the additive
+            # level cannot collide with '||' or the closing '|'.
+            e = self.parse_additive()
+            end = self.expect(T.BAR, "closing '|'")
+            return ast.Norm(tok.span.to(end.span), e)
+        if tok.kind is T.LBRACKET:
+            self.advance()
+            elems: list[ast.Expr] = []
+            while True:
+                elems.append(self.parse_expr())
+                if self.cur.kind is T.COMMA:
+                    self.advance()
+                else:
+                    break
+            end = self.expect(T.RBRACKET, "']'")
+            return ast.TensorCons(tok.span.to(end.span), elems)
+        if tok.kind is T.ID:
+            if tok.text == "true":
+                self.advance()
+                return ast.BoolLit(tok.span, True)
+            if tok.text == "false":
+                self.advance()
+                return ast.BoolLit(tok.span, False)
+            if tok.text == "identity":
+                self.advance()
+                self.expect(T.LBRACKET, "'['")
+                n = self.expect(T.INT, "a dimension").value
+                end = self.expect(T.RBRACKET, "']'")
+                return ast.Identity(tok.span.to(end.span), n)
+            if tok.text == "load":
+                self.advance()
+                self.expect(T.LPAREN, "'('")
+                path = self.expect(T.STRING, "a file name")
+                end = self.expect(T.RPAREN, "')'")
+                return ast.Load(tok.span.to(end.span), path.value)
+            if tok.text in ("real", "int"):
+                # cast syntax: real(e) / int(e) — parse as a Call
+                self.advance()
+                self.expect(T.LPAREN, "'('")
+                arg = self.parse_expr()
+                end = self.expect(T.RPAREN, "')'")
+                return ast.Call(tok.span.to(end.span), tok.text, [arg])
+            if tok.text in KEYWORDS:
+                raise SyntaxErrorD(
+                    f"unexpected keyword {tok.text!r} in expression", tok.span
+                )
+            self.advance()
+            return ast.Var(tok.span, tok.text)
+        raise SyntaxErrorD(
+            f"unexpected token {tok.text or 'end of input'!r} in expression",
+            tok.span,
+        )
+
+
+def parse_program(src: str) -> ast.Program:
+    """Parse Diderot source text into a surface AST."""
+    return Parser(src).parse_program()

@@ -1,0 +1,25 @@
+"""Source positions for diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open range of source text, for error messages.
+
+    ``line`` and ``col`` are 1-based and refer to the start of the span.
+    """
+
+    line: int
+    col: int
+    end_line: int = 0
+    end_col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def to(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        return Span(self.line, self.col, other.end_line or other.line, other.end_col or other.col)

@@ -1,0 +1,87 @@
+"""Token definitions for the Diderot surface language.
+
+Diderot "uses Unicode characters to represent mathematical constants (π) and
+a rich set of operations on tensors" (paper §3.2).  Every Unicode operator
+also has an ASCII spelling so programs can be written in plain ASCII:
+
+==========  =======  ==============================
+operator    Unicode  ASCII alternative
+==========  =======  ==============================
+convolve    ``⊛``    ``@``
+dot         ``•``    builtin function ``dot``
+cross       ``×``    builtin function ``cross``
+outer       ``⊗``    builtin function ``outer``
+gradient    ``∇``    ``nabla`` keyword
+pi          ``π``    builtin constant ``pi``
+==========  =======  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.core.syntax.source import Span
+
+
+class T(Enum):
+    """Token kinds."""
+
+    ID = auto()
+    INT = auto()
+    REAL = auto()
+    STRING = auto()
+
+    # punctuation
+    LPAREN = auto(); RPAREN = auto()
+    LBRACKET = auto(); RBRACKET = auto()
+    LBRACE = auto(); RBRACE = auto()
+    COMMA = auto(); SEMI = auto(); COLON = auto()
+    HASH = auto()          # '#'
+    BAR = auto()           # '|'  (norm delimiter / comprehension separator)
+    DOTDOT = auto()        # '..'
+
+    # operators
+    ASSIGN = auto()        # '='
+    PLUS_EQ = auto(); MINUS_EQ = auto(); TIMES_EQ = auto(); DIV_EQ = auto()
+    PLUS = auto(); MINUS = auto(); TIMES = auto(); DIV = auto(); MOD = auto()
+    CARET = auto()         # '^'
+    EQEQ = auto(); NEQ = auto()
+    LT = auto(); LEQ = auto(); GT = auto(); GEQ = auto()
+    ANDAND = auto(); OROR = auto(); BANG = auto()
+    CONVOLVE = auto()      # '⊛' or '@'
+    DOT_OP = auto()        # '•'
+    CROSS_OP = auto()      # '×'
+    OUTER_OP = auto()      # '⊗'
+    NABLA = auto()         # '∇' or 'nabla'
+
+    EOF = auto()
+
+
+#: Reserved words of the language (paper §3).
+KEYWORDS = {
+    "bool", "die", "else", "false", "field", "identity", "if", "image", "in",
+    "initially", "input", "int", "kernel", "load", "nabla", "output", "real",
+    "stabilize", "strand", "string", "tensor", "true", "update", "vec2",
+    "vec3", "vec4",
+}
+
+#: Single-character Unicode operator spellings.
+UNICODE_OPS = {
+    "⊛": T.CONVOLVE,
+    "•": T.DOT_OP,
+    "×": T.CROSS_OP,
+    "⊗": T.OUTER_OP,
+    "∇": T.NABLA,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: T
+    text: str
+    span: Span
+    value: object = None  # parsed payload for INT/REAL/STRING
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.span})"

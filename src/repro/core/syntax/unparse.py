@@ -1,0 +1,181 @@
+"""Pretty-printer: AST → Diderot source text.
+
+Supports tooling (program listings, LOC accounting, golden tests) and the
+round-trip property ``parse(unparse(parse(src)))`` ≡ ``parse(src)`` that
+the parser tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import ast
+
+#: binding strength per expression form, mirroring the parser's levels
+_PREC = {
+    "cond": 1,
+    "||": 2,
+    "&&": 3,
+    "==": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6, "⊛": 6, "•": 6, "×": 6, "⊗": 6,
+    "unary": 7,
+    "^": 8,
+    "postfix": 9,
+    "atom": 10,
+}
+
+
+def _ty(t: ast.TyExpr) -> str:
+    if t.kind in ("bool", "int", "string", "real"):
+        return t.kind
+    if t.kind == "tensor":
+        if len(t.shape) == 1 and t.shape[0] in (2, 3, 4):
+            return f"vec{t.shape[0]}"
+        return "tensor[" + ",".join(str(s) for s in t.shape) + "]"
+    shape = "[" + ",".join(str(s) for s in t.shape) + "]"
+    if t.kind == "image":
+        return f"image({t.dim}){shape}"
+    if t.kind == "kernel":
+        return f"kernel#{t.continuity}"
+    if t.kind == "field":
+        return f"field#{t.continuity}({t.dim}){shape}"
+    raise ValueError(f"unknown type kind {t.kind!r}")
+
+
+def _fmt_real(v: float) -> str:
+    text = repr(float(v))
+    return text
+
+
+def unparse_expr(e: ast.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr(e)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(e: ast.Expr) -> tuple[str, int]:
+    if isinstance(e, ast.IntLit):
+        return str(e.value), _PREC["atom"]
+    if isinstance(e, ast.RealLit):
+        return _fmt_real(e.value), _PREC["atom"]
+    if isinstance(e, ast.BoolLit):
+        return ("true" if e.value else "false"), _PREC["atom"]
+    if isinstance(e, ast.StringLit):
+        escaped = e.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"', _PREC["atom"]
+    if isinstance(e, ast.Var):
+        return e.name, _PREC["atom"]
+    if isinstance(e, ast.BinOp):
+        prec = _PREC[e.op]
+        left = unparse_expr(e.left, prec)
+        right = unparse_expr(e.right, prec + 1)  # left-associative
+        return f"{left} {e.op} {right}", prec
+    if isinstance(e, ast.UnOp):
+        prec = _PREC["unary"]
+        operand = unparse_expr(e.operand, prec)
+        op = e.op if e.op != "-" else "-"
+        space = "" if op in ("-", "!") else ""
+        return f"{op}{space}{operand}", prec
+    if isinstance(e, ast.Cond):
+        prec = _PREC["cond"]
+        return (
+            f"{unparse_expr(e.then_e, prec + 1)} if "
+            f"{unparse_expr(e.cond, prec + 1)} else "
+            f"{unparse_expr(e.else_e, prec)}",
+            prec,
+        )
+    if isinstance(e, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in e.args)
+        return f"{e.func}({args})", _PREC["postfix"]
+    if isinstance(e, ast.Probe):
+        field = unparse_expr(e.field, _PREC["postfix"] + 1)
+        # a ∇-chain keeps its parens-free form: ∇F(x)
+        if isinstance(e.field, ast.UnOp) and e.field.op.startswith("∇"):
+            field = unparse_expr(e.field, 0)
+        return f"{field}({unparse_expr(e.pos)})", _PREC["postfix"]
+    if isinstance(e, ast.Index):
+        base = unparse_expr(e.base, _PREC["postfix"])
+        idx = ", ".join(unparse_expr(i) for i in e.indices)
+        return f"{base}[{idx}]", _PREC["postfix"]
+    if isinstance(e, ast.TensorCons):
+        elems = ", ".join(unparse_expr(x) for x in e.elements)
+        return f"[{elems}]", _PREC["atom"]
+    if isinstance(e, ast.Norm):
+        return f"|{unparse_expr(e.operand)}|", _PREC["atom"]
+    if isinstance(e, ast.Identity):
+        return f"identity[{e.n}]", _PREC["atom"]
+    if isinstance(e, ast.Load):
+        return f'load("{e.path}")', _PREC["atom"]
+    raise ValueError(f"cannot unparse {type(e).__name__}")
+
+
+def _stmt(s: ast.Stmt, indent: int, out: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(s, ast.Block):
+        out.append(pad + "{")
+        for inner in s.stmts:
+            _stmt(inner, indent + 1, out)
+        out.append(pad + "}")
+    elif isinstance(s, ast.DeclStmt):
+        out.append(f"{pad}{_ty(s.ty_expr)} {s.name} = {unparse_expr(s.init)};")
+    elif isinstance(s, ast.AssignStmt):
+        out.append(f"{pad}{s.name} {s.op} {unparse_expr(s.value)};")
+    elif isinstance(s, ast.IfStmt):
+        out.append(f"{pad}if ({unparse_expr(s.cond)})")
+        _stmt_as_block(s.then_s, indent, out)
+        if s.else_s is not None:
+            out.append(f"{pad}else")
+            _stmt_as_block(s.else_s, indent, out)
+    elif isinstance(s, ast.StabilizeStmt):
+        out.append(pad + "stabilize;")
+    elif isinstance(s, ast.DieStmt):
+        out.append(pad + "die;")
+    else:
+        raise ValueError(f"cannot unparse statement {type(s).__name__}")
+
+
+def _stmt_as_block(s: ast.Stmt, indent: int, out: list[str]) -> None:
+    """Emit a statement as an explicit block, avoiding dangling-else
+    ambiguity in the output."""
+    if isinstance(s, ast.Block):
+        _stmt(s, indent, out)
+    else:
+        pad = "    " * indent
+        out.append(pad + "{")
+        _stmt(s, indent + 1, out)
+        out.append(pad + "}")
+
+
+def unparse(prog: ast.Program) -> str:
+    """Render a full program as Diderot source text."""
+    out: list[str] = []
+    for g in prog.globals:
+        prefix = "input " if g.is_input else ""
+        init = f" = {unparse_expr(g.init)}" if g.init is not None else ""
+        out.append(f"{prefix}{_ty(g.ty_expr)} {g.name}{init};")
+    if prog.globals:
+        out.append("")
+    s = prog.strand
+    params = ", ".join(f"{_ty(p.ty_expr)} {p.name}" for p in s.params)
+    out.append(f"strand {s.name} ({params}) {{")
+    for sv in s.state:
+        prefix = "output " if sv.is_output else ""
+        out.append(
+            f"    {prefix}{_ty(sv.ty_expr)} {sv.name} = {unparse_expr(sv.init)};"
+        )
+    for m in s.methods:
+        out.append(f"    {m.name} {{")
+        for inner in m.body.stmts:
+            _stmt(inner, 2, out)
+        out.append("    }")
+    out.append("}")
+    out.append("")
+    init = prog.initially
+    open_b, close_b = ("[", "]") if init.kind == "grid" else ("{", "}")
+    args = ", ".join(unparse_expr(a) for a in init.args)
+    iters = ", ".join(
+        f"{it.name} in {unparse_expr(it.lo)} .. {unparse_expr(it.hi)}"
+        for it in init.iters
+    )
+    out.append(f"initially {open_b} {init.strand}({args}) | {iters} {close_b};")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,40 @@
+"""Diderot's type system (paper §3.4, Figure 2; §5.1).
+
+The language is monomorphic, but "most of its operators have instances at
+multiple types", so the checker uses "a mix of ad hoc overloading and
+polymorphism ... the internal representation of types includes kinded type
+variables, shape variables, and dimension variables" resolved by
+unification (§5.1).  Because every Diderot expression has a ground type
+bottom-up (all declarations are explicitly typed and literals are ground),
+unification here is one-way matching of signature patterns — with shape,
+dimension, and continuity variables — against ground argument types.
+"""
+
+from repro.core.ty.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    FieldTy,
+    ImageTy,
+    KernelTy,
+    TensorTy,
+    Ty,
+    vec,
+)
+from repro.core.ty.check import check_program, TypedProgram
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "REAL",
+    "STRING",
+    "FieldTy",
+    "ImageTy",
+    "KernelTy",
+    "TensorTy",
+    "Ty",
+    "TypedProgram",
+    "check_program",
+    "vec",
+]

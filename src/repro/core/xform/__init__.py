@@ -1,0 +1,1 @@
+"""Compiler transformation passes: normalization, lowering, optimization."""

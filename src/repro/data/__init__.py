@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for the paper's image inputs.
+
+The paper's benchmarks run on a CT scan of a hand (vr-lite, illust-vr), a
+synthetic 2-D vector field and noise texture (lic2d), a CT lung scan
+(ridge3d), and a grayscale portrait (isocontour sampling).  We cannot ship
+the CT data, so :mod:`repro.data.synth` generates phantoms that exercise the
+same code paths — see DESIGN.md's substitution table for the rationale
+behind each one.
+"""
+
+from repro.data.synth import (
+    hand_phantom,
+    lung_phantom,
+    noise_texture,
+    portrait_phantom,
+    vector_field_2d,
+)
+
+__all__ = [
+    "hand_phantom",
+    "lung_phantom",
+    "noise_texture",
+    "portrait_phantom",
+    "vector_field_2d",
+]

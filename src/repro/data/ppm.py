@@ -1,0 +1,57 @@
+"""Minimal PGM/PPM writers for example outputs.
+
+The paper's figures are rendered images; these helpers let the examples
+regenerate them as portable graymap/pixmap files without any plotting
+dependency.  Arrays are normalized to [0, 255] unless a range is given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _quantize(arr: np.ndarray, vmin, vmax) -> np.ndarray:
+    arr = np.asarray(arr, dtype=np.float64)
+    if vmin is None:
+        vmin = float(np.nanmin(arr))
+    if vmax is None:
+        vmax = float(np.nanmax(arr))
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    scaled = (arr - vmin) / (vmax - vmin)
+    return (np.clip(np.nan_to_num(scaled), 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def save_pgm(path: str, gray: np.ndarray, vmin=None, vmax=None) -> None:
+    """Write a 2-D array as a binary PGM (P5) grayscale image."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2:
+        raise ValueError(f"PGM needs a 2-D array, got shape {gray.shape}")
+    q = _quantize(gray, vmin, vmax)
+    with open(path, "wb") as fp:
+        fp.write(f"P5\n{q.shape[1]} {q.shape[0]}\n255\n".encode("ascii"))
+        fp.write(q.tobytes())
+
+
+def save_ppm(path: str, rgb: np.ndarray, vmin=None, vmax=None) -> None:
+    """Write an (H, W, 3) array as a binary PPM (P6) color image."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[-1] != 3:
+        raise ValueError(f"PPM needs an (H, W, 3) array, got shape {rgb.shape}")
+    q = _quantize(rgb, vmin, vmax)
+    with open(path, "wb") as fp:
+        fp.write(f"P6\n{q.shape[1]} {q.shape[0]}\n255\n".encode("ascii"))
+        fp.write(q.tobytes())
+
+
+def read_pgm(path: str) -> np.ndarray:
+    """Read back a binary PGM written by :func:`save_pgm` (for tests)."""
+    with open(path, "rb") as fp:
+        magic = fp.readline().strip()
+        if magic != b"P5":
+            raise ValueError(f"not a binary PGM: {magic!r}")
+        dims = fp.readline().split()
+        w, h = int(dims[0]), int(dims[1])
+        fp.readline()  # maxval
+        data = np.frombuffer(fp.read(w * h), dtype=np.uint8)
+    return data.reshape(h, w)

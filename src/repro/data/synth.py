@@ -1,0 +1,198 @@
+"""Phantom generators (see DESIGN.md substitution table).
+
+Each generator returns an oriented :class:`~repro.image.Image`.  Phantoms
+are smooth (sums of Gaussian profiles) so that convolution reconstruction
+and its derivatives behave like they do on real CT data, and are built from
+analytically known geometry so tests can check extracted features (e.g.
+ridge centerlines) against ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.image import Image, Orientation
+
+
+def _grid(sizes: tuple[int, ...]) -> list[np.ndarray]:
+    """Open mesh of index coordinates for a grid of the given sizes."""
+    axes = [np.arange(n, dtype=np.float64) for n in sizes]
+    return list(np.meshgrid(*axes, indexing="ij"))
+
+
+def _centered_orientation(sizes: tuple[int, ...], extent: float) -> Orientation:
+    """Isotropic orientation spanning ``[-extent/2, extent/2]`` per axis."""
+    dim = len(sizes)
+    spacing = [extent / (n - 1) for n in sizes]
+    origin = [-extent / 2.0] * dim
+    return Orientation(np.diag(spacing), np.array(origin))
+
+
+def _capsule_density(x, y, z, a, b, radius):
+    """Gaussian tube density around the line segment from ``a`` to ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ab = b - a
+    denom = float(ab @ ab)
+    px, py, pz = x - a[0], y - a[1], z - a[2]
+    t = (px * ab[0] + py * ab[1] + pz * ab[2]) / denom
+    t = np.clip(t, 0.0, 1.0)
+    dx = px - t * ab[0]
+    dy = py - t * ab[1]
+    dz = pz - t * ab[2]
+    d2 = dx * dx + dy * dy + dz * dz
+    return np.exp(-d2 / (radius * radius))
+
+
+def hand_phantom(size: int = 48) -> Image:
+    """A CT-hand stand-in: palm blob + five finger capsules, two tissues.
+
+    Densities are CT-flavored: "skin" (the smooth envelope of the whole
+    shape) reads around 300-600 and "bone" (the capsule cores) reads above
+    1000, so volume-rendering programs can pick either tissue with an
+    opacity window exactly as the paper does with ``hand.nrrd``
+    (§3.3.2: "by changing the opacity range, we can pick out different
+    features of the image (e.g., skin or bone)").
+    """
+    sizes = (size, size, size)
+    x, y, z = _grid(sizes)
+    c = (size - 1) / 2.0
+    u = size / 48.0  # geometry scales with resolution
+
+    # Palm: anisotropic Gaussian blob below center.
+    px, py, pz = c, c - 8 * u, c
+    palm = np.exp(
+        -(
+            ((x - px) / (10 * u)) ** 2
+            + ((y - py) / (7 * u)) ** 2
+            + ((z - pz) / (4 * u)) ** 2
+        )
+    )
+
+    bone = np.zeros(sizes)
+    fingers = [
+        # (base offset from palm top, tip offset, radius)
+        ((-8, 0, 0), (-12, 14, 1), 1.6),
+        ((-4, 2, 0), (-5, 18, 1), 1.7),
+        ((0, 3, 0), (0, 20, 0), 1.8),
+        ((4, 2, 0), (5, 17, -1), 1.7),
+        ((8, -2, 0), (14, 6, -1), 1.5),  # thumb
+    ]
+    base_y = py + 5 * u
+    for (bx, by, bz), (tx, ty, tz), r in fingers:
+        a = (px + bx * u, base_y + by * u, pz + bz * u)
+        b = (px + tx * u, base_y + ty * u, pz + tz * u)
+        bone += _capsule_density(x, y, z, a, b, r * 2.2 * u)
+
+    soft = np.clip(palm + 0.55 * bone, 0.0, 1.0)
+    vol = 600.0 * soft + 900.0 * np.clip(bone, 0.0, 1.0)
+    return Image(vol, dim=3, orientation=_centered_orientation(sizes, 40.0))
+
+
+def lung_phantom(size: int = 48, n_vessels: int = 6, seed: int = 7) -> Image:
+    """A lung-CT stand-in: gently curved bright tubes ("vessels") on a dim,
+    noisy background.
+
+    Tubes run roughly along the z axis with sinusoidal (x, y) centerlines
+    and Gaussian cross-sections, so every tube is a 3-D height ridge whose
+    centerline is known in closed form — see
+    :func:`lung_vessel_centerlines`.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = (size, size, size)
+    x, y, z = _grid(sizes)
+    params = _vessel_params(size, n_vessels, rng)
+
+    vol = np.zeros(sizes)
+    for x0, y0, ax, ay, wx, wy, phx, phy, r in params:
+        cx = x0 + ax * np.sin(wx * z + phx)
+        cy = y0 + ay * np.cos(wy * z + phy)
+        d2 = (x - cx) ** 2 + (y - cy) ** 2
+        vol += np.exp(-d2 / (r * r))
+    vol = 800.0 * np.clip(vol, 0.0, 1.0)
+    vol += 20.0 * rng.standard_normal(sizes)  # parenchyma noise
+    return Image(vol, dim=3, orientation=_centered_orientation(sizes, 40.0))
+
+
+def _vessel_params(size: int, n_vessels: int, rng) -> list[tuple]:
+    u = size / 48.0
+    params = []
+    for _ in range(n_vessels):
+        x0 = rng.uniform(0.25, 0.75) * (size - 1)
+        y0 = rng.uniform(0.25, 0.75) * (size - 1)
+        ax, ay = rng.uniform(1.0, 3.0, 2) * u
+        wx, wy = rng.uniform(0.05, 0.12, 2) / u
+        phx, phy = rng.uniform(0, 2 * np.pi, 2)
+        r = rng.uniform(1.6, 2.6) * u
+        params.append((x0, y0, ax, ay, wx, wy, phx, phy, r))
+    return params
+
+
+def lung_vessel_centerlines(size: int = 48, n_vessels: int = 6, seed: int = 7, samples: int = 200) -> np.ndarray:
+    """Ground-truth vessel centerline points, in **world** coordinates.
+
+    Must be called with the same parameters as :func:`lung_phantom`.
+    Returns an array of shape ``(n_vessels, samples, 3)``.
+    """
+    rng = np.random.default_rng(seed)
+    params = _vessel_params(size, n_vessels, rng)
+    orient = _centered_orientation((size, size, size), 40.0)
+    zs = np.linspace(0, size - 1, samples)
+    out = []
+    for x0, y0, ax, ay, wx, wy, phx, phy, _r in params:
+        cx = x0 + ax * np.sin(wx * zs + phx)
+        cy = y0 + ay * np.cos(wy * zs + phy)
+        out.append(orient.to_world(np.stack([cx, cy, zs], axis=-1)))
+    return np.array(out)
+
+
+def vector_field_2d(size: int = 64, vortex: float = 1.0, saddle: float = 0.35) -> Image:
+    """A smooth synthetic 2-D vector field: a vortex plus a saddle component.
+
+    This is the ``vectors.nrrd`` stand-in for the LIC benchmark; streamlines
+    circulate around the grid center with hyperbolic distortion, giving the
+    swirling patterns visible in the paper's Figure 6.
+    """
+    sizes = (size, size)
+    x, y = _grid(sizes)
+    c = (size - 1) / 2.0
+    dx = (x - c) / c
+    dy = (y - c) / c
+    vx = -vortex * dy + saddle * dx
+    vy = vortex * dx - saddle * dy
+    data = np.stack([vx, vy], axis=-1)
+    return Image(data, dim=2, tensor_shape=(2,),
+                 orientation=_centered_orientation(sizes, 2.0))
+
+
+def noise_texture(size: int = 64, seed: int = 11) -> Image:
+    """White-noise scalar texture (the ``rand.nrrd`` stand-in for LIC)."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, (size, size))
+    return Image(data, dim=2, orientation=_centered_orientation((size, size), 2.0))
+
+
+def portrait_phantom(size: int = 100) -> Image:
+    """A grayscale stand-in for the Diderot portrait (isocontour demo).
+
+    Smooth sums of Gaussian bumps with gray values spanning 0-60, so the
+    10/30/50 isovalues of Figure 7 all produce closed, smooth contours.
+    """
+    sizes = (size, size)
+    x, y = _grid(sizes)
+    s = size / 100.0
+    bumps = [
+        # (cx, cy, sx, sy, amplitude)
+        (50, 48, 26, 30, 42.0),   # head
+        (50, 40, 14, 16, 16.0),   # face highlight
+        (36, 64, 7, 9, 9.0),      # shoulder
+        (66, 62, 8, 8, 8.0),      # shoulder
+        (44, 34, 3.5, 3.0, 6.0),  # eye
+        (57, 34, 3.5, 3.0, 6.0),  # eye
+    ]
+    img = np.zeros(sizes)
+    for cx, cy, sx, sy, amp in bumps:
+        img += amp * np.exp(
+            -(((x - cx * s) / (sx * s)) ** 2 + ((y - cy * s) / (sy * s)) ** 2)
+        )
+    return Image(img, dim=2, orientation=Orientation.axis_aligned(2))

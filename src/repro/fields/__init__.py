@@ -1,0 +1,27 @@
+"""Continuous tensor fields (paper §2, §3.2, §5.2-5.3).
+
+A Diderot field ``field#k(d)[s]`` is a function from d-dimensional world
+space to tensors of shape ``s``, constructed by convolving an image with a
+kernel (``V ⊛ h``) or by higher-order operations (addition, scaling,
+differentiation).  This package provides
+
+* :mod:`repro.fields.probe` — the vectorized separable-convolution engine
+  that the compiled code and the baseline library both call into, and
+* :mod:`repro.fields.field` — first-class runtime field objects implementing
+  the same semantics symbolically (probe, inside, ∇, ∇⊗, ∇•, ∇×), which
+  serve as the reference implementation for compiler output.
+"""
+
+from repro.fields.field import ConvField, Field, SumField, ScaledField, convolve
+from repro.fields.probe import gather_neighborhood, probe_convolution, probe_inside
+
+__all__ = [
+    "ConvField",
+    "Field",
+    "ScaledField",
+    "SumField",
+    "convolve",
+    "gather_neighborhood",
+    "probe_convolution",
+    "probe_inside",
+]

@@ -1,0 +1,212 @@
+"""First-class continuous tensor fields — the runtime reference semantics.
+
+These objects mirror the field expressions of the surface language
+(paper §3.2, Figure 9a): convolution ``V ⊛ h``, addition, scaling, negation,
+and differentiation.  ``grad`` implements both ``∇`` (scalar fields) and
+``∇⊗`` (higher-order fields): it appends one derivative axis of length ``d``
+to the range shape and decrements continuity, exactly as Figure 2's typing
+rules say.
+
+Differentiation here applies the *same* normalization rules the compiler
+uses (Figure 10): ``∇(f₁+f₂) = ∇f₁+∇f₂``, ``∇(e·f) = e·∇f``, and
+``∇(V ⊛ ∇ⁱh) = V ⊛ ∇ⁱ⁺¹h``, so a field expression is always held in the
+normalized form of Figure 9b.  That makes this module the executable
+specification against which compiled code is differentially tested, and the
+substrate for the `gage` baseline library.
+
+The divergence (``∇•``) and curl (``∇×``) operations from the paper's §8.3
+future-work list are provided as contractions of ``grad`` probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DiderotError
+from repro.fields.probe import probe_convolution, probe_inside
+from repro.image import Image
+from repro.kernels import Kernel
+
+
+class Field:
+    """Abstract continuous tensor field ``field#k(d)[s]``.
+
+    Attributes
+    ----------
+    dim:
+        Dimension ``d`` of the domain.
+    shape:
+        Tensor shape ``s`` of the range.
+    continuity:
+        Number of continuous derivatives ``k``.
+    """
+
+    dim: int
+    shape: tuple[int, ...]
+    continuity: int
+
+    def probe(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the field at world position(s) ``x``."""
+        raise NotImplementedError
+
+    def inside(self, x: np.ndarray):
+        """The ``inside(x, F)`` domain test."""
+        raise NotImplementedError
+
+    def grad(self) -> "Field":
+        """``∇F`` / ``∇⊗F``: differentiate, appending one axis of length d."""
+        raise NotImplementedError
+
+    # -- operator sugar mirroring the surface language ----------------------
+
+    def __add__(self, other: "Field") -> "Field":
+        return SumField(self, other)
+
+    def __sub__(self, other: "Field") -> "Field":
+        return SumField(self, other.scaled(-1.0))
+
+    def __neg__(self) -> "Field":
+        return self.scaled(-1.0)
+
+    def __mul__(self, scalar) -> "Field":
+        return self.scaled(scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar) -> "Field":
+        return self.scaled(1.0 / scalar)
+
+    def scaled(self, scalar) -> "Field":
+        return ScaledField(float(scalar), self)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.probe(x)
+
+    def _require_differentiable(self) -> None:
+        if self.continuity <= 0:
+            raise DiderotError(
+                f"cannot differentiate a C{self.continuity} field; "
+                "use a smoother kernel"
+            )
+
+    def divergence(self, x: np.ndarray) -> np.ndarray:
+        """``(∇•F)(x)`` for a vector field: trace of the Jacobian probe."""
+        if self.shape != (self.dim,):
+            raise DiderotError("divergence requires a d-vector field")
+        jac = self.grad().probe(x)
+        return np.trace(jac, axis1=-2, axis2=-1)
+
+    def curl(self, x: np.ndarray) -> np.ndarray:
+        """``(∇×F)(x)``: 3-vector curl in 3-D, scalar curl in 2-D."""
+        if self.shape != (self.dim,) or self.dim not in (2, 3):
+            raise DiderotError("curl requires a 2-D or 3-D vector field")
+        jac = self.grad().probe(x)  # (..., i, j) = dF_i/dx_j
+        if self.dim == 2:
+            return jac[..., 1, 0] - jac[..., 0, 1]
+        return np.stack(
+            [
+                jac[..., 2, 1] - jac[..., 1, 2],
+                jac[..., 0, 2] - jac[..., 2, 0],
+                jac[..., 1, 0] - jac[..., 0, 1],
+            ],
+            axis=-1,
+        )
+
+
+class ConvField(Field):
+    """The normalized convolution field ``V ⊛ ∇ⁱh`` (Figure 9b)."""
+
+    def __init__(self, image: Image, kernel: Kernel, deriv: int = 0, dtype=None):
+        if deriv < 0:
+            raise ValueError("derivative level must be >= 0")
+        self.image = image
+        self.kernel = kernel
+        self.deriv = deriv
+        self.dim = image.dim
+        self.shape = image.tensor_shape + (image.dim,) * deriv
+        self.continuity = kernel.continuity - deriv
+        self.dtype = dtype
+
+    def probe(self, x: np.ndarray) -> np.ndarray:
+        return probe_convolution(self.image, self.kernel, x, self.deriv, dtype=self.dtype)
+
+    def inside(self, x: np.ndarray):
+        return probe_inside(self.image, self.kernel.support, x)
+
+    def grad(self) -> "ConvField":
+        self._require_differentiable()
+        # Normalization rule: ∇(V ⊛ ∇ⁱh) = V ⊛ ∇ⁱ⁺¹h (Figure 10).
+        return ConvField(self.image, self.kernel, self.deriv + 1, dtype=self.dtype)
+
+    def __repr__(self) -> str:
+        nabla = "∇" * self.deriv
+        return (
+            f"ConvField({self.image!r} ⊛ {nabla}{self.kernel.name}, "
+            f"C{self.continuity})"
+        )
+
+
+class SumField(Field):
+    """``f₁ + f₂``: domains and shapes must agree."""
+
+    def __init__(self, left: Field, right: Field):
+        if (left.dim, left.shape) != (right.dim, right.shape):
+            raise DiderotError(
+                f"cannot add field#_({left.dim})[{left.shape}] and "
+                f"field#_({right.dim})[{right.shape}]"
+            )
+        self.left = left
+        self.right = right
+        self.dim = left.dim
+        self.shape = left.shape
+        self.continuity = min(left.continuity, right.continuity)
+
+    def probe(self, x: np.ndarray) -> np.ndarray:
+        # (f₁ + f₂)(x) = f₁(x) + f₂(x)  (Figure 10)
+        return self.left.probe(x) + self.right.probe(x)
+
+    def inside(self, x: np.ndarray):
+        return np.logical_and(self.left.inside(x), self.right.inside(x))
+
+    def grad(self) -> "Field":
+        self._require_differentiable()
+        # ∇(f₁ + f₂) = ∇f₁ + ∇f₂  (Figure 10)
+        return SumField(self.left.grad(), self.right.grad())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+class ScaledField(Field):
+    """``e * f`` for a (constant) scalar ``e``."""
+
+    def __init__(self, scalar: float, inner: Field):
+        self.scalar = float(scalar)
+        self.inner = inner
+        self.dim = inner.dim
+        self.shape = inner.shape
+        self.continuity = inner.continuity
+
+    def probe(self, x: np.ndarray) -> np.ndarray:
+        # (e * f)(x) = e * f(x)  (Figure 10)
+        return self.scalar * self.inner.probe(x)
+
+    def inside(self, x: np.ndarray):
+        return self.inner.inside(x)
+
+    def grad(self) -> "Field":
+        self._require_differentiable()
+        # ∇(e * f) = e * ∇f  (Figure 10)
+        return ScaledField(self.scalar, self.inner.grad())
+
+    def scaled(self, scalar) -> "Field":
+        # Collapse nested scalings so repeated arithmetic stays flat.
+        return ScaledField(self.scalar * float(scalar), self.inner)
+
+    def __repr__(self) -> str:
+        return f"({self.scalar} * {self.inner!r})"
+
+
+def convolve(image: Image, kernel: Kernel, dtype=None) -> ConvField:
+    """Construct the field ``image ⊛ kernel`` (the surface-language ``⊛``)."""
+    return ConvField(image, kernel, 0, dtype=dtype)

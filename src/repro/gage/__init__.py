@@ -1,0 +1,24 @@
+"""A Teem/`gage`-style probing library — the paper's comparison baseline.
+
+The paper's §6 benchmarks compare Diderot against hand-written C programs
+using the Teem library, whose `gage` module provides convolution-based
+probing through a *context* API: "A Teem programmer would have to create a
+probing context in which image data and kernels are set, specify the list of
+all quantities that are to be computed for every probe, and then update the
+probe context to allocate buffers to store probe results.  After calling the
+probe function at a particular location pos, the programmer then copies the
+value and gradient out of the probe buffer." (§7)
+
+This package is a faithful Python port of that API *shape*: contexts,
+per-derivative-level kernel slots, query items with dependency resolution,
+an explicit ``update()`` step, per-point ``probe()``, and answer buffers the
+caller copies results from.  The hand-written baseline benchmark programs in
+:mod:`repro.baselines` are written against it, reproducing both the
+line-count comparison of Table 1 and the per-probe-overhead performance
+comparison of Table 2.
+"""
+
+from repro.gage.items import ITEMS, Item, item_names
+from repro.gage.ctx import Context
+
+__all__ = ["Context", "ITEMS", "Item", "item_names"]

@@ -1,0 +1,109 @@
+"""Query items for the gage-style probing context.
+
+Mirrors Teem's ``gageScl*`` / ``gageVec*`` item tables: each *item* names a
+quantity derivable from an image at a probe position, declares which
+convolution derivative level it needs and which other items it is computed
+from.  ``Context.update`` resolves the dependency closure, exactly like
+``gageUpdate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Item:
+    """One probeable quantity.
+
+    Attributes
+    ----------
+    name:
+        Public item name (``"value"``, ``"gradient"``, ...).
+    kind:
+        ``"scalar"`` for scalar-image items, ``"vector"`` for vector-image
+        items (Teem's gageKindScl / gageKindVec split).
+    deriv:
+        Convolution derivative level this item needs (0, 1, or 2); also
+        selects the kernel slot (``00``, ``11``, ``22``) that must be set.
+    shape:
+        Tensor shape of the answer, with ``d`` standing for the image
+        dimension (resolved at update time).
+    deps:
+        Items this one is derived from; empty for direct convolution items.
+    """
+
+    name: str
+    kind: str
+    deriv: int
+    shape: tuple = ()
+    deps: tuple = field(default=())
+
+
+#: Scalar-kind items (subset of Teem's gageScl table used by the paper's
+#: benchmarks, plus the eigensystem items ridge detection needs).
+_SCALAR_ITEMS = [
+    Item("value", "scalar", 0, ()),
+    Item("gradient", "scalar", 1, ("d",)),
+    Item("gradmag", "scalar", 1, (), deps=("gradient",)),
+    Item("normal", "scalar", 1, ("d",), deps=("gradient", "gradmag")),
+    Item("hessian", "scalar", 2, ("d", "d")),
+    Item("laplacian", "scalar", 2, (), deps=("hessian",)),
+    Item("hesseval", "scalar", 2, ("d",), deps=("hessian",)),
+    Item("hessevec", "scalar", 2, ("d", "d"), deps=("hessian",)),
+    Item("2ndDD", "scalar", 2, (), deps=("hessian", "normal")),
+]
+
+#: Vector-kind items (subset of gageVec).
+_VECTOR_ITEMS = [
+    Item("vector", "vector", 0, ("d",)),
+    Item("vectorlen", "vector", 0, (), deps=("vector",)),
+    Item("jacobian", "vector", 1, ("d", "d")),
+    Item("divergence", "vector", 1, (), deps=("jacobian",)),
+    Item("curl", "vector", 1, ("curl",), deps=("jacobian",)),
+]
+
+ITEMS: dict[str, Item] = {i.name: i for i in _SCALAR_ITEMS + _VECTOR_ITEMS}
+
+
+def item_names(kind: str) -> list[str]:
+    """All item names available for an image kind."""
+    return [i.name for i in ITEMS.values() if i.kind == kind]
+
+
+def resolve_shape(item: Item, dim: int) -> tuple[int, ...]:
+    """Concrete answer shape for an item on a ``dim``-dimensional image."""
+    out = []
+    for s in item.shape:
+        if s == "d":
+            out.append(dim)
+        elif s == "curl":
+            # curl is a scalar in 2-D, a 3-vector in 3-D
+            if dim == 3:
+                out.append(3)
+            # dim == 2: scalar, no axis
+        else:
+            out.append(int(s))
+    return tuple(out)
+
+
+def dependency_closure(names) -> list[str]:
+    """Requested items plus everything they are derived from, topo-sorted
+    so that dependencies precede dependents."""
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        for dep in ITEMS[name].deps:
+            visit(dep)
+        order.append(name)
+
+    for n in names:
+        if n not in ITEMS:
+            known = ", ".join(sorted(ITEMS))
+            raise KeyError(f"unknown gage item {n!r}; known items: {known}")
+        visit(n)
+    return order

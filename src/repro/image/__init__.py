@@ -1,0 +1,12 @@
+"""Oriented multi-dimensional images (paper §3.1's ``image(d)[s]`` values).
+
+An image is a regular grid of tensor samples plus *orientation* metadata: the
+affine map ``M`` from index space to world space that NRRD headers carry
+(paper §5.3).  Probes happen in world space; gradients measured in index
+space are covariant and map back to world space with ``M⁻ᵀ``.
+"""
+
+from repro.image.grid import Orientation
+from repro.image.image import Image
+
+__all__ = ["Image", "Orientation"]

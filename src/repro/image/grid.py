@@ -1,0 +1,93 @@
+"""Grid orientation: the affine index-space ↔ world-space map.
+
+An image dataset "comes with orientation information that can be represented
+as a transform M mapping from position in the image's index space to position
+in world space" (paper §5.3).  Positions are contravariant (mapped by ``M``),
+gradients are covariant (mapped by ``M⁻ᵀ``); this module owns both maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Orientation:
+    """The affine map ``world = M @ index + origin`` for a ``d``-D grid.
+
+    Parameters
+    ----------
+    directions:
+        ``(d, d)`` array whose **row i** is the world-space step between
+        samples that are adjacent along image axis ``i`` (the NRRD
+        ``space directions`` convention).  So ``M`` — the Jacobian of the
+        index→world map with the usual column convention — is
+        ``directions.T``.
+    origin:
+        world-space position of index ``(0, ..., 0)``.
+    """
+
+    def __init__(self, directions: np.ndarray, origin: np.ndarray):
+        directions = np.asarray(directions, dtype=np.float64)
+        origin = np.asarray(origin, dtype=np.float64)
+        if directions.ndim != 2 or directions.shape[0] != directions.shape[1]:
+            raise ValueError(f"directions must be (d, d), got {directions.shape}")
+        d = directions.shape[0]
+        if origin.shape != (d,):
+            raise ValueError(f"origin must have shape ({d},), got {origin.shape}")
+        if abs(np.linalg.det(directions)) < 1e-300:
+            raise ValueError("orientation directions are singular")
+        self.dim = d
+        self.directions = directions
+        self.origin = origin
+        # M maps index (column vector) to world displacement.
+        self._m = directions.T
+        self._m_inv = np.linalg.inv(self._m)
+        # Covariant (gradient) transform: M^{-T}.
+        self._m_inv_t = self._m_inv.T
+
+    @staticmethod
+    def axis_aligned(dim: int, spacing=1.0, origin=None) -> "Orientation":
+        """Axis-aligned orientation with per-axis ``spacing`` (scalar or seq)."""
+        spacing = np.broadcast_to(np.asarray(spacing, dtype=np.float64), (dim,))
+        if origin is None:
+            origin = np.zeros(dim)
+        return Orientation(np.diag(spacing), np.asarray(origin, dtype=np.float64))
+
+    @property
+    def world_jacobian(self) -> np.ndarray:
+        """``M``: the index→world Jacobian (column convention)."""
+        return self._m
+
+    @property
+    def index_jacobian(self) -> np.ndarray:
+        """``M⁻¹``: the world→index Jacobian."""
+        return self._m_inv
+
+    @property
+    def gradient_transform(self) -> np.ndarray:
+        """``M⁻ᵀ``: maps index-space gradients to world space (paper §5.3)."""
+        return self._m_inv_t
+
+    def to_world(self, index: np.ndarray) -> np.ndarray:
+        """Map index-space positions (last axis = coordinates) to world space."""
+        index = np.asarray(index, dtype=np.float64)
+        return index @ self._m.T + self.origin
+
+    def to_index(self, world: np.ndarray) -> np.ndarray:
+        """Map world-space positions (last axis = coordinates) to index space."""
+        world = np.asarray(world, dtype=np.float64)
+        return (world - self.origin) @ self._m_inv.T
+
+    def is_axis_aligned(self, tol: float = 0.0) -> bool:
+        off = self.directions - np.diag(np.diag(self.directions))
+        return bool(np.all(np.abs(off) <= tol))
+
+    def __repr__(self) -> str:
+        return f"Orientation(dim={self.dim}, origin={self.origin.tolist()})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Orientation)
+            and np.array_equal(self.directions, other.directions)
+            and np.array_equal(self.origin, other.origin)
+        )

@@ -1,0 +1,106 @@
+"""The ``image(d)[s]`` value: a grid of tensor samples plus orientation.
+
+The Diderot ``load`` builtin produces one of these from a NRRD file; field
+construction (``img ⊛ h``) and probing consume it.  "We do not specify the
+representation of the image values on disk ... the compiler generates code
+that maps image values to reals" (paper §3.3.1): samples are converted to
+floating point on construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.image.grid import Orientation
+
+
+class Image:
+    """An oriented, tensor-valued sample grid.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``sizes + tensor_shape``: the first ``dim`` axes index
+        the grid (axis ``i`` of the array is image axis ``i``), the trailing
+        axes are the per-sample tensor.  Converted to ``dtype`` on ingest.
+    dim:
+        Spatial dimension ``d`` of the grid (1, 2, or 3).
+    tensor_shape:
+        The shape ``s`` of each sample: ``()`` for scalar images, ``(3,)``
+        for 3-vector images, etc.
+    orientation:
+        Index→world map; defaults to the identity (unit spacing, origin 0).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        dim: int | None = None,
+        tensor_shape: tuple[int, ...] | None = None,
+        orientation: Orientation | None = None,
+        dtype=np.float64,
+    ):
+        data = np.asarray(data)
+        if dim is None and tensor_shape is None:
+            dim = data.ndim
+            tensor_shape = ()
+        elif dim is None:
+            dim = data.ndim - len(tensor_shape)
+        elif tensor_shape is None:
+            tensor_shape = tuple(data.shape[dim:])
+        tensor_shape = tuple(int(n) for n in tensor_shape)
+        if dim not in (1, 2, 3):
+            raise ValueError(f"image dimension must be 1, 2, or 3, got {dim}")
+        if data.ndim != dim + len(tensor_shape):
+            raise ValueError(
+                f"data has {data.ndim} axes but dim={dim} and tensor shape "
+                f"{tensor_shape} require {dim + len(tensor_shape)}"
+            )
+        if tuple(data.shape[dim:]) != tensor_shape:
+            raise ValueError(
+                f"trailing axes {data.shape[dim:]} do not match tensor shape {tensor_shape}"
+            )
+        if orientation is None:
+            orientation = Orientation.axis_aligned(dim)
+        if orientation.dim != dim:
+            raise ValueError(
+                f"orientation dimension {orientation.dim} does not match image dim {dim}"
+            )
+        self.data = np.ascontiguousarray(data, dtype=dtype)
+        self.dim = dim
+        self.tensor_shape = tensor_shape
+        self.orientation = orientation
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Samples along each image axis."""
+        return tuple(self.data.shape[: self.dim])
+
+    @property
+    def tensor_order(self) -> int:
+        return len(self.tensor_shape)
+
+    def astype(self, dtype) -> "Image":
+        """A copy of this image with samples stored at ``dtype``."""
+        return Image(
+            self.data, self.dim, self.tensor_shape, self.orientation, dtype=dtype
+        )
+
+    def index_bounds(self, support: int) -> tuple[np.ndarray, np.ndarray]:
+        """Valid floor-index range ``[lo, hi]`` for a kernel of given support.
+
+        A probe at index-space position with integer part ``n`` reads samples
+        ``n + i`` for ``i = 1-s .. s``; ``n`` must satisfy
+        ``s-1 <= n <= size-1-s`` on every axis.  Used to implement the
+        ``inside(x, F)`` test.
+        """
+        sizes = np.asarray(self.sizes)
+        lo = np.full(self.dim, support - 1)
+        hi = sizes - 1 - support
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return (
+            f"Image(dim={self.dim}, sizes={self.sizes}, "
+            f"tensor_shape={self.tensor_shape}, dtype={self.data.dtype})"
+        )

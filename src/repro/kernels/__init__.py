@@ -1,0 +1,33 @@
+"""Separable convolution kernels (paper §2, §3.1).
+
+Diderot reconstructs continuous fields from discrete images by separable
+convolution with piecewise-polynomial kernels.  A ``kernel#k`` value is a
+C^k kernel; the built-ins from the paper are
+
+* ``tent``   — C⁰ linear interpolation,
+* ``ctmr``   — C¹ interpolating Catmull-Rom cubic spline,
+* ``bspln3`` — C² (non-interpolating) uniform cubic B-spline.
+
+We additionally provide ``bspln5`` (C⁴ quintic B-spline), constructed
+symbolically from the truncated-power-function definition, for programs that
+need more continuous derivatives than the paper's examples.
+
+Because every kernel is piecewise polynomial, derivatives are computed
+symbolically (paper §5.3: "The kernels that Diderot supports are all
+piecewise polynomial, so it is straightforward to symbolically differentiate
+them").
+"""
+
+from repro.kernels.piecewise import Kernel, Polynomial
+from repro.kernels.library import KERNELS, bspln3, bspln5, ctmr, kernel_by_name, tent
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "Polynomial",
+    "bspln3",
+    "bspln5",
+    "ctmr",
+    "kernel_by_name",
+    "tent",
+]

@@ -1,0 +1,101 @@
+"""The built-in kernel library (paper §3.1).
+
+``tent``, ``ctmr``, and ``bspln3`` are the kernels the paper names; their
+piece polynomials are the textbook formulas (Bartels/Beatty/Barsky, cited as
+[3] in the paper).  Uniform B-splines of any odd degree are also constructed
+symbolically from the truncated-power definition, which both provides the
+``bspln5`` extension kernel and cross-checks the hand-written ``bspln3``
+coefficients in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernels.piecewise import Kernel, Polynomial
+
+#: C0, support 1: linear interpolation ("tent" by shape).
+tent = Kernel(
+    "tent",
+    support=1,
+    continuity=0,
+    pieces=[
+        Polynomial.of([1.0, 1.0]),   # [-1, 0): 1 + x
+        Polynomial.of([1.0, -1.0]),  # [ 0, 1): 1 - x
+    ],
+)
+
+#: C1, support 2: interpolating Catmull-Rom cubic spline.
+ctmr = Kernel(
+    "ctmr",
+    support=2,
+    continuity=1,
+    pieces=[
+        Polynomial.of([2.0, 4.0, 2.5, 0.5]),    # [-2,-1): 2 + 4x + 5/2 x^2 + 1/2 x^3
+        Polynomial.of([1.0, 0.0, -2.5, -1.5]),  # [-1, 0): 1 - 5/2 x^2 - 3/2 x^3
+        Polynomial.of([1.0, 0.0, -2.5, 1.5]),   # [ 0, 1): 1 - 5/2 x^2 + 3/2 x^3
+        Polynomial.of([2.0, -4.0, 2.5, -0.5]),  # [ 1, 2): 2 - 4x + 5/2 x^2 - 1/2 x^3
+    ],
+)
+
+
+def bspline(degree: int) -> Kernel:
+    """The centered uniform B-spline basis kernel of odd ``degree``.
+
+    Built from the truncated-power-function definition
+
+    ``B_n(x) = (1/n!) * sum_k (-1)^k C(n+1, k) * (x + (n+1)/2 - k)_+^n``
+
+    whose activation boundaries fall on integers for odd ``n``, so each unit
+    interval gets a single polynomial.  ``bspline(1)`` equals ``tent`` and
+    ``bspline(3)`` equals ``bspln3``.
+    """
+    if degree < 1 or degree % 2 == 0:
+        raise ValueError("bspline construction requires an odd degree >= 1")
+    n = degree
+    s = (n + 1) // 2
+    x_to_n = Polynomial.of([0.0] * n + [1.0])
+    pieces = []
+    for j in range(-s, s):
+        acc = Polynomial.of([0.0])
+        for k in range(0, n + 2):
+            shift = s - k  # (n+1)/2 - k
+            if j + shift >= 0:  # term is active on [j, j+1)
+                term = x_to_n.shift(shift).scale(((-1.0) ** k) * math.comb(n + 1, k))
+                acc = acc.add(term)
+        pieces.append(acc.scale(1.0 / math.factorial(n)))
+    return Kernel(f"bspln{n}", support=s, continuity=n - 1, pieces=pieces)
+
+
+#: C2, support 2: uniform cubic B-spline basis (non-interpolating).
+bspln3 = Kernel(
+    "bspln3",
+    support=2,
+    continuity=2,
+    pieces=[
+        Polynomial.of([4.0 / 3.0, 2.0, 1.0, 1.0 / 6.0]),    # [-2,-1): (2+x)^3 / 6
+        Polynomial.of([2.0 / 3.0, 0.0, -1.0, -0.5]),        # [-1, 0)
+        Polynomial.of([2.0 / 3.0, 0.0, -1.0, 0.5]),         # [ 0, 1)
+        Polynomial.of([4.0 / 3.0, -2.0, 1.0, -1.0 / 6.0]),  # [ 1, 2): (2-x)^3 / 6
+    ],
+)
+
+#: C4, support 3: uniform quintic B-spline (extension beyond the paper).
+bspln5 = bspline(5)
+
+#: Kernels available to Diderot programs by name.
+KERNELS: dict[str, Kernel] = {
+    "tent": tent,
+    "ctmr": ctmr,
+    "bspln3": bspln3,
+    "bspln5": bspln5,
+}
+
+
+def kernel_by_name(name: str) -> Kernel:
+    """Look up a built-in kernel; raises ``KeyError`` with the known names."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel {name!r}; built-ins are: {known}") from None

@@ -1,0 +1,194 @@
+"""Piecewise-polynomial kernels and exact symbolic differentiation.
+
+A :class:`Kernel` is a function ``h(x)`` that is zero outside ``(-s, s)``
+(``s`` = integer support radius) and polynomial on every unit interval
+``[j, j+1)`` for ``-s <= j < s``.  All the machinery the compiler needs —
+evaluation, symbolic derivatives, and the per-offset *weight polynomials*
+that probe synthesis expands into Horner-form arithmetic (paper §5.3) — lives
+here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A univariate polynomial with float coefficients, lowest degree first."""
+
+    coeffs: tuple[float, ...]
+
+    @staticmethod
+    def of(coeffs) -> "Polynomial":
+        """Build a polynomial, trimming trailing (high-degree) zeros."""
+        cs = [float(c) for c in coeffs]
+        while len(cs) > 1 and cs[-1] == 0.0:
+            cs.pop()
+        if not cs:
+            cs = [0.0]
+        return Polynomial(tuple(cs))
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __call__(self, x):
+        """Evaluate by Horner's rule; ``x`` may be an array."""
+        x = np.asarray(x)
+        acc = np.full(x.shape, self.coeffs[-1], dtype=np.result_type(x, np.float64))
+        for c in reversed(self.coeffs[:-1]):
+            acc = acc * x + c
+        return acc
+
+    def derivative(self) -> "Polynomial":
+        """Symbolic derivative."""
+        if self.degree == 0:
+            return Polynomial.of([0.0])
+        return Polynomial.of([k * c for k, c in enumerate(self.coeffs)][1:])
+
+    def shift(self, a: float) -> "Polynomial":
+        """The composition ``p(x + a)`` expanded in powers of ``x``.
+
+        Used to turn a kernel piece (a polynomial in the kernel argument) into
+        a *weight polynomial* in the in-cell fraction ``f``.
+        """
+        n = self.degree
+        out = [0.0] * (n + 1)
+        for k, c in enumerate(self.coeffs):
+            # c * (x + a)^k = c * sum_j C(k,j) a^(k-j) x^j
+            for j in range(k + 1):
+                out[j] += c * math.comb(k, j) * (a ** (k - j))
+        return Polynomial.of(out)
+
+    def scale(self, s: float) -> "Polynomial":
+        return Polynomial.of([s * c for c in self.coeffs])
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [0.0] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [0.0] * (n - len(other.coeffs))
+        return Polynomial.of([x + y for x, y in zip(a, b)])
+
+    def is_zero(self) -> bool:
+        return all(c == 0.0 for c in self.coeffs)
+
+
+class Kernel:
+    """A piecewise-polynomial reconstruction kernel.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in Diderot source (``tent``, ``ctmr``, ...) and in
+        diagnostics; derivatives get a ``'`` suffix per level.
+    support:
+        Integer support radius ``s``; the kernel is zero outside ``(-s, s)``.
+    continuity:
+        The ``k`` of the Diderot type ``kernel#k``: the number of continuous
+        derivatives.  Differentiation decreases it (Figure 2's typing rules);
+        it may become negative for kernels differentiated past smoothness,
+        which the type checker rejects at the source level.
+    pieces:
+        ``2*s`` polynomials; ``pieces[j + s]`` is the restriction of ``h`` to
+        ``[j, j+1)``.
+    """
+
+    def __init__(self, name: str, support: int, continuity: int, pieces: list[Polynomial]):
+        if support < 1:
+            raise ValueError("kernel support radius must be >= 1")
+        if len(pieces) != 2 * support:
+            raise ValueError(
+                f"kernel {name!r}: expected {2 * support} pieces, got {len(pieces)}"
+            )
+        self.name = name
+        self.support = support
+        self.continuity = continuity
+        self.pieces = list(pieces)
+        self._deriv: Kernel | None = None
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.name}, support={self.support}, C{self.continuity})"
+
+    def piece_for(self, j: int) -> Polynomial:
+        """The polynomial on ``[j, j+1)``; zero outside the support."""
+        if -self.support <= j < self.support:
+            return self.pieces[j + self.support]
+        return Polynomial.of([0.0])
+
+    def __call__(self, x):
+        """Evaluate ``h(x)`` pointwise; ``x`` may be an array."""
+        x = np.asarray(x, dtype=np.float64)
+        j = np.floor(x).astype(np.int64)
+        out = np.zeros(x.shape, dtype=np.float64)
+        for idx in range(-self.support, self.support):
+            mask = j == idx
+            if np.any(mask):
+                out[mask] = self.pieces[idx + self.support](x[mask])
+        # x == support falls outside every [j, j+1) piece; it is 0 by support.
+        return out
+
+    def derivative(self, levels: int = 1) -> "Kernel":
+        """The ``levels``-th symbolic derivative, cached per level."""
+        if levels < 0:
+            raise ValueError("derivative levels must be >= 0")
+        k: Kernel = self
+        for _ in range(levels):
+            if k._deriv is None:
+                k._deriv = Kernel(
+                    k.name + "'",
+                    k.support,
+                    k.continuity - 1,
+                    [p.derivative() for p in k.pieces],
+                )
+            k = k._deriv
+        return k
+
+    def weight_polynomials(self) -> list[Polynomial]:
+        """Per-offset weight polynomials in the in-cell fraction ``f``.
+
+        Probing at image-space position ``n + f`` (``n`` integer, ``0<=f<1``)
+        sums image samples at offsets ``i = 1-s .. s`` with weights
+        ``h(f - i)``.  Since ``f - i`` always lands in piece ``[-i, -i+1)``,
+        each weight is a single polynomial in ``f``:
+
+        ``w_i(f) = piece_{-i}(f - i)``
+
+        Returned in offset order ``[1-s, ..., s]`` (length ``2*s``).  These
+        are what the MidIR→LowIR translation expands into Horner arithmetic.
+        """
+        return [self.piece_for(-i).shift(-i) for i in self.offsets()]
+
+    def offsets(self) -> range:
+        """Sample offsets contributing to a probe: ``1-s .. s`` inclusive."""
+        return range(1 - self.support, self.support + 1)
+
+    def weights(self, f: np.ndarray) -> np.ndarray:
+        """Evaluate all ``2*s`` weight polynomials at fractions ``f``.
+
+        ``f`` has any shape; the result appends one axis of length ``2*s``
+        in the same offset order as :meth:`offsets`.
+        """
+        f = np.asarray(f)
+        ws = [p(f) for p in self.weight_polynomials()]
+        return np.stack(ws, axis=-1)
+
+    # -- diagnostics used by tests and by the field API ---------------------
+
+    def is_interpolating(self, tol: float = 1e-12) -> bool:
+        """True if ``h(0) = 1`` and ``h(j) = 0`` for integer ``j != 0``."""
+        if abs(float(self(0.0)) - 1.0) > tol:
+            return False
+        for j in range(-self.support + 1, self.support):
+            if j != 0 and abs(float(self(float(j)))) > tol:
+                return False
+        return True
+
+    def partition_of_unity_error(self, samples: int = 101) -> float:
+        """Max deviation of ``sum_i h(f - i)`` from 1 over ``f`` in [0,1)."""
+        f = np.linspace(0.0, 1.0, samples, endpoint=False)
+        total = self.weights(f).sum(axis=-1)
+        return float(np.max(np.abs(total - 1.0)))

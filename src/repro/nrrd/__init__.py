@@ -1,0 +1,14 @@
+"""NRRD ("nearly raw raster data") file format support (paper §5.5).
+
+The Diderot runtime reads image inputs from NRRD files and writes program
+output to NRRD files; the format carries the orientation metadata
+(``space directions`` / ``space origin``) that probe synthesis needs.  This
+is a from-scratch implementation of the subset of NRRD used by the paper's
+workloads: attached and detached headers, raw / gzip / ascii encodings, the
+standard scalar sample types, and non-spatial (tensor) axes.
+"""
+
+from repro.nrrd.reader import read_nrrd, read_nrrd_header
+from repro.nrrd.writer import write_nrrd
+
+__all__ = ["read_nrrd", "read_nrrd_header", "write_nrrd"]

@@ -1,0 +1,230 @@
+"""NRRD reader.
+
+Supports NRRD0001-0005 headers, attached and detached data, ``raw`` /
+``gzip`` / ``ascii`` encodings, both endiannesses, and non-spatial axes
+(identified by a ``none`` entry in ``space directions`` or a non-domain
+``kinds`` entry), which become the tensor shape of the resulting
+:class:`~repro.image.Image`.
+
+NRRD orders axes fastest-first; our images index axes in the same order
+(axis 0 of :attr:`Image.data` is NRRD axis 0) with tensor axes moved to the
+end, per the :class:`~repro.image.Image` layout contract.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import zlib
+
+import numpy as np
+
+from repro.errors import NrrdError
+from repro.image import Image, Orientation
+
+_MAGIC = "NRRD000"
+
+#: NRRD type name → numpy dtype (without byte order).
+_TYPES = {
+    "signed char": "i1", "int8": "i1", "int8_t": "i1",
+    "uchar": "u1", "unsigned char": "u1", "uint8": "u1", "uint8_t": "u1",
+    "short": "i2", "short int": "i2", "signed short": "i2", "int16": "i2", "int16_t": "i2",
+    "ushort": "u2", "unsigned short": "u2", "uint16": "u2", "uint16_t": "u2",
+    "int": "i4", "signed int": "i4", "int32": "i4", "int32_t": "i4",
+    "uint": "u4", "unsigned int": "u4", "uint32": "u4", "uint32_t": "u4",
+    "longlong": "i8", "long long": "i8", "int64": "i8", "int64_t": "i8",
+    "ulonglong": "u8", "unsigned long long": "u8", "uint64": "u8", "uint64_t": "u8",
+    "float": "f4", "double": "f8",
+}
+
+#: ``kinds`` entries that denote a spatial (domain) axis.
+_DOMAIN_KINDS = {"domain", "space", "time"}
+
+
+def _parse_vector(text: str) -> list[float] | None:
+    """Parse ``(a,b,c)`` into floats, or None for the literal ``none``."""
+    text = text.strip()
+    if text == "none":
+        return None
+    if not (text.startswith("(") and text.endswith(")")):
+        raise NrrdError(f"malformed NRRD vector: {text!r}")
+    return [float(p) for p in text[1:-1].split(",")]
+
+
+def read_nrrd_header(path: str) -> tuple[dict, int]:
+    """Read just the header of a NRRD file.
+
+    Returns the field dictionary (lower-cased field names) and the byte
+    offset at which attached data begins (meaningless for detached headers).
+    """
+    fields: dict[str, str] = {}
+    with open(path, "rb") as fp:
+        magic = fp.readline().decode("ascii", errors="replace").rstrip("\r\n")
+        if not magic.startswith(_MAGIC):
+            raise NrrdError(f"{path}: not a NRRD file (magic {magic!r})")
+        while True:
+            raw = fp.readline()
+            if raw == b"":
+                raise NrrdError(f"{path}: unexpected EOF in NRRD header")
+            line = raw.decode("ascii", errors="replace").rstrip("\r\n")
+            if line == "":
+                break  # blank line separates header from attached data
+            if line.startswith("#"):
+                continue
+            if ":=" in line:  # key/value pair (metadata) — keep but ignore
+                key, _, value = line.partition(":=")
+                fields.setdefault("kv:" + key.strip().lower(), value.strip())
+                continue
+            if ":" not in line:
+                raise NrrdError(f"{path}: malformed NRRD header line {line!r}")
+            key, _, value = line.partition(":")
+            fields[key.strip().lower()] = value.strip()
+        offset = fp.tell()
+    return fields, offset
+
+
+def _decode(buf: bytes, encoding: str, dtype: np.dtype, count: int) -> np.ndarray:
+    if encoding in ("raw",):
+        usable = (len(buf) // dtype.itemsize) * dtype.itemsize
+        return np.frombuffer(buf[:usable], dtype=dtype)
+    if encoding in ("gzip", "gz"):
+        try:
+            raw = gzip.decompress(buf)
+        except (OSError, zlib.error) as exc:
+            raise NrrdError(f"bad gzip data in NRRD: {exc}") from exc
+        usable = (len(raw) // dtype.itemsize) * dtype.itemsize
+        return np.frombuffer(raw[:usable], dtype=dtype)
+    if encoding in ("ascii", "txt", "text"):
+        return np.array(buf.decode("ascii").split(), dtype=dtype)[:count]
+    raise NrrdError(f"unsupported NRRD encoding {encoding!r}")
+
+
+def read_nrrd(path: str, dtype=np.float64) -> Image:
+    """Read a NRRD file into an :class:`~repro.image.Image`.
+
+    Samples are converted to ``dtype`` (the Diderot compiler "generates code
+    that maps image values to reals", §3.3.1).
+    """
+    fields, offset = read_nrrd_header(path)
+
+    try:
+        ndim = int(fields["dimension"])
+        sizes = [int(s) for s in fields["sizes"].split()]
+        type_name = fields["type"].lower()
+        encoding = fields.get("encoding", "raw").lower()
+    except KeyError as exc:
+        raise NrrdError(f"{path}: missing required NRRD field {exc}") from exc
+    if len(sizes) != ndim:
+        raise NrrdError(f"{path}: sizes {sizes} do not match dimension {ndim}")
+    if any(s <= 0 for s in sizes):
+        raise NrrdError(f"{path}: non-positive axis size in {sizes}")
+    if type_name not in _TYPES:
+        raise NrrdError(f"{path}: unsupported NRRD type {type_name!r}")
+
+    base = _TYPES[type_name]
+    endian = fields.get("endian", "little").lower()
+    order = {"little": "<", "big": ">"}.get(endian)
+    if order is None:
+        raise NrrdError(f"{path}: unsupported endian {endian!r}")
+    file_dtype = np.dtype(base if base.endswith("1") else order + base)
+
+    count = 1
+    for s in sizes:
+        count *= s
+
+    datafile = fields.get("data file") or fields.get("datafile")
+    if datafile:
+        data_path = os.path.join(os.path.dirname(os.path.abspath(path)), datafile)
+        with open(data_path, "rb") as fp:
+            buf = fp.read()
+    else:
+        with open(path, "rb") as fp:
+            fp.seek(offset)
+            buf = fp.read()
+        skip = int(fields.get("line skip", 0) or 0)
+        for _ in range(skip):
+            nl = buf.find(b"\n")
+            buf = buf[nl + 1:] if nl >= 0 else b""
+        bskip = int(fields.get("byte skip", 0) or 0)
+        if bskip:
+            buf = buf[bskip:]
+
+    flat = _decode(buf, encoding, file_dtype, count)
+    if flat.size < count:
+        raise NrrdError(
+            f"{path}: expected {count} samples, found {flat.size}"
+        )
+    flat = flat[:count]
+
+    # NRRD lists axes fastest-first; the flat buffer is laid out with axis 0
+    # fastest, so reshape with reversed sizes and transpose into NRRD order.
+    data = flat.reshape(tuple(reversed(sizes))).transpose(tuple(range(ndim - 1, -1, -1)))
+
+    # Classify axes: spatial (domain) vs. tensor ("none" direction / kind).
+    directions_field = fields.get("space directions")
+    kinds_field = fields.get("kinds")
+    spatial = [True] * ndim
+    directions: list[list[float] | None] = [None] * ndim
+    if directions_field is not None:
+        parts = directions_field.split()
+        if len(parts) != ndim:
+            raise NrrdError(f"{path}: space directions count != dimension")
+        for i, p in enumerate(parts):
+            vec = _parse_vector(p)
+            directions[i] = vec
+            spatial[i] = vec is not None
+    elif kinds_field is not None:
+        kinds = kinds_field.split()
+        if len(kinds) != ndim:
+            raise NrrdError(f"{path}: kinds count != dimension")
+        spatial = [k.lower() in _DOMAIN_KINDS for k in kinds]
+
+    spatial_axes = [i for i, s in enumerate(spatial) if s]
+    tensor_axes = [i for i, s in enumerate(spatial) if not s]
+    dim = len(spatial_axes)
+    if dim not in (1, 2, 3):
+        raise NrrdError(f"{path}: {dim} spatial axes; Diderot supports 1-3")
+
+    # Move tensor axes to the end, preserving relative order on both sides.
+    data = data.transpose(spatial_axes + tensor_axes)
+    tensor_shape = tuple(sizes[i] for i in tensor_axes)
+
+    # Orientation from space directions / spacings / space origin.
+    space_dim = dim
+    if "space dimension" in fields:
+        space_dim = int(fields["space dimension"])
+    if space_dim != dim:
+        raise NrrdError(
+            f"{path}: space dimension {space_dim} != {dim} spatial axes "
+            "(projected orientations are not supported)"
+        )
+    dir_rows = np.eye(dim)
+    if directions_field is not None:
+        rows = [directions[i] for i in spatial_axes]
+        if any(r is None or len(r) != dim for r in rows):
+            raise NrrdError(f"{path}: malformed space directions")
+        dir_rows = np.array(rows, dtype=np.float64)
+    elif "spacings" in fields:
+        sp = fields["spacings"].split()
+        if len(sp) != ndim:
+            raise NrrdError(f"{path}: spacings count != dimension")
+        vals = []
+        for i in spatial_axes:
+            s = sp[i].lower()
+            vals.append(1.0 if s in ("nan", "none") else float(sp[i]))
+        dir_rows = np.diag(vals)
+
+    origin = np.zeros(dim)
+    if "space origin" in fields:
+        vec = _parse_vector(fields["space origin"])
+        if vec is None or len(vec) != dim:
+            raise NrrdError(f"{path}: malformed space origin")
+        origin = np.array(vec, dtype=np.float64)
+
+    return Image(
+        np.ascontiguousarray(data),
+        dim=dim,
+        tensor_shape=tensor_shape,
+        orientation=Orientation(dir_rows, origin),
+        dtype=dtype,
+    )

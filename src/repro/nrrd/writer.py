@@ -1,0 +1,104 @@
+"""NRRD writer.
+
+Writes :class:`~repro.image.Image` values (and bare arrays) as NRRD files
+with attached headers, in ``raw``, ``gzip``, or ``ascii`` encoding.  Tensor
+axes are written first (fastest), marked non-spatial with a ``none`` space
+direction, matching how Teem stores vector- and matrix-valued volumes.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+
+from repro.errors import NrrdError
+from repro.image import Image
+
+#: numpy kind+itemsize → NRRD type name.
+_NAMES = {
+    ("i", 1): "int8", ("u", 1): "uint8",
+    ("i", 2): "int16", ("u", 2): "uint16",
+    ("i", 4): "int32", ("u", 4): "uint32",
+    ("i", 8): "int64", ("u", 8): "uint64",
+    ("f", 4): "float", ("f", 8): "double",
+}
+
+
+def _type_name(dtype: np.dtype) -> str:
+    key = (dtype.kind, dtype.itemsize)
+    if key not in _NAMES:
+        raise NrrdError(f"cannot write dtype {dtype} as NRRD")
+    return _NAMES[key]
+
+
+def _fmt_vec(v) -> str:
+    return "(" + ",".join(repr(float(x)) for x in v) + ")"
+
+
+def write_nrrd(path: str, image, encoding: str = "raw", dtype=None, content: str | None = None) -> None:
+    """Write ``image`` (an :class:`Image` or a bare array) to ``path``.
+
+    Bare arrays are treated as scalar images with identity orientation when
+    they have 1-3 axes; higher-rank arrays must be wrapped in :class:`Image`
+    so the spatial/tensor split is explicit.
+    """
+    if not isinstance(image, Image):
+        arr = np.asarray(image)
+        if arr.ndim not in (1, 2, 3):
+            raise NrrdError(
+                "bare arrays with >3 axes are ambiguous; wrap in Image to "
+                "mark which axes are spatial"
+            )
+        image = Image(arr, dim=arr.ndim, tensor_shape=())
+    data = image.data
+    if dtype is not None:
+        data = data.astype(dtype)
+    dtype_np = np.dtype(data.dtype)
+    if dtype_np.kind not in "iuf":
+        raise NrrdError(f"cannot write dtype {dtype_np} as NRRD")
+
+    dim = image.dim
+    t_order = image.tensor_order
+    # NRRD axis order: tensor axes first (fastest), then spatial axes.
+    nrrd_sizes = list(image.tensor_shape) + list(image.sizes)
+    # numpy layout for "first NRRD axis fastest" = reversed NRRD order,
+    # C-contiguous.  Our data is (spatial..., tensor...), so reversed NRRD
+    # order is (spatial reversed..., tensor reversed...).
+    perm = tuple(range(dim - 1, -1, -1)) + tuple(
+        range(dim + t_order - 1, dim - 1, -1)
+    )
+    flat = np.ascontiguousarray(data.transpose(perm)).reshape(-1)
+
+    lines = ["NRRD0005"]
+    if content:
+        lines.append(f"content: {content}")
+    lines.append(f"type: {_type_name(dtype_np)}")
+    lines.append(f"dimension: {len(nrrd_sizes)}")
+    lines.append("sizes: " + " ".join(str(s) for s in nrrd_sizes))
+    if dtype_np.itemsize > 1 and encoding in ("raw", "gzip"):
+        lines.append("endian: little")
+        flat = flat.astype(dtype_np.newbyteorder("<"))
+    lines.append(f"encoding: {encoding}")
+    lines.append(f"space dimension: {dim}")
+    dirs = ["none"] * t_order + [
+        _fmt_vec(image.orientation.directions[i]) for i in range(dim)
+    ]
+    lines.append("space directions: " + " ".join(dirs))
+    lines.append("space origin: " + _fmt_vec(image.orientation.origin))
+    kinds = ["none"] * t_order + ["domain"] * dim
+    lines.append("kinds: " + " ".join(kinds))
+    header = "\n".join(lines) + "\n\n"
+
+    if encoding == "raw":
+        payload = flat.tobytes()
+    elif encoding == "gzip":
+        payload = gzip.compress(flat.tobytes())
+    elif encoding == "ascii":
+        payload = (" ".join(repr(v) for v in flat.tolist()) + "\n").encode("ascii")
+    else:
+        raise NrrdError(f"unsupported NRRD encoding {encoding!r}")
+
+    with open(path, "wb") as fp:
+        fp.write(header.encode("ascii"))
+        fp.write(payload)

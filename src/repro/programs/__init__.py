@@ -1,0 +1,27 @@
+"""The paper's benchmark Diderot programs (§6.2, Table 1).
+
+Each module holds the Diderot source of one benchmark —
+
+* :mod:`repro.programs.vr_lite`    — simple volume renderer (Figure 1)
+* :mod:`repro.programs.illust_vr`  — curvature-shaded volume renderer (Figure 3)
+* :mod:`repro.programs.lic2d`      — line integral convolution (Figure 5)
+* :mod:`repro.programs.ridge3d`    — particle-based ridge detection
+* :mod:`repro.programs.isocontour` — isocontour sampling (Figure 7, §4.3)
+
+— plus a ``make_program`` helper that compiles it and binds the synthetic
+input data from :mod:`repro.data`.  Grid resolutions are scaled-down
+versions of the paper's (see DESIGN.md's benchmark scaling note); every
+helper takes a ``scale`` knob.
+"""
+
+from repro.programs import illust_vr, isocontour, lic2d, ridge3d, vr_lite
+
+ALL = {
+    "vr-lite": vr_lite,
+    "illust-vr": illust_vr,
+    "lic2d": lic2d,
+    "ridge3d": ridge3d,
+    "isocontour": isocontour,
+}
+
+__all__ = ["ALL", "illust_vr", "isocontour", "lic2d", "ridge3d", "vr_lite"]

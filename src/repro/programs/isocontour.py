@@ -1,0 +1,58 @@
+"""isocontour: particle-based isocontour detection (Figure 7, §4.3).
+
+A grid of strands picks the nearest of three isovalues to its starting
+field value and runs Newton-Raphson along the normalized gradient to land
+on that isocontour; strands that leave the domain or fail to converge die,
+so the stable collection (``initially { ... }``) is a *subset* of the
+initial strands — the green dots of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.data import portrait_phantom
+
+SOURCE = """\
+input int resU = 100;
+input int resV = 100;
+input int stepsMax = 20;
+input real epsilon = 0.001;
+field#1(2)[] f = ctmr ⊛ load("ddro.nrrd");
+
+strand sample (int ui, int vi) {
+    output vec2 pos = [real(ui), real(vi)];
+    // set isovalue to closest of 50, 30, or 10
+    real f0 = 50.0 if f([real(ui), real(vi)]) >= 40.0
+              else 30.0 if f([real(ui), real(vi)]) >= 20.0
+              else 10.0;
+    int steps = 0;
+
+    update {
+        if (!inside(pos, f) || steps > stepsMax)
+            die;
+        vec2 grad = ∇f(pos);
+        vec2 delta =  // the Newton-Raphson step
+            normalize(grad) * (f(pos) - f0)/|grad|;
+        if (|delta| < epsilon)
+            stabilize;
+        pos -= delta;
+        steps += 1;
+    }
+}
+
+initially { sample(ui, vi) | vi in 0 .. resV-1,
+                             ui in 0 .. resU-1 };
+"""
+
+NAME = "isocontour"
+PAPER_STRANDS = None  # demonstration program (Figures 7-8), not in Table 1
+
+
+def make_program(precision: str = "double", scale: float = 1.0, image_size: int = 100):
+    from repro.core.driver import compile_program
+
+    prog = compile_program(SOURCE, precision=precision)
+    prog.bind_image("ddro", portrait_phantom(image_size))
+    res = max(2, int(round(image_size * scale)))
+    prog.set_input("resU", res)
+    prog.set_input("resV", res)
+    return prog

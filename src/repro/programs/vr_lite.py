@@ -1,0 +1,79 @@
+"""vr-lite: "simple volume-renderer with Phong shading" (Figure 1, §6.2).
+
+A grid of ray strands marches through the scalar field; where the field
+value exceeds the opacity window the strand accumulates shaded gray-level
+contribution, with the surface normal taken from the gradient field.
+"""
+
+from __future__ import annotations
+
+from repro.data import hand_phantom
+
+#: the Diderot program (Figure 1, with the camera as explicit inputs)
+SOURCE = """\
+input real stepSz = 0.5;             // size of steps
+input vec3 eye = [0.0, 0.0, 90.0];   // eye location
+input vec3 orig = [-15.0, -15.0, 45.0]; // pixel (0,0) location
+input vec3 cVec = [0.3, 0.0, 0.0];   // vector between columns
+input vec3 rVec = [0.0, 0.3, 0.0];   // vector between rows
+input real opacMin = 350.0;          // value with opacity 0.0
+input real opacMax = 900.0;          // value with opacity 1.0
+input real tMax = 120.0;             // ray length limit
+input int imgResU = 100;
+input int imgResV = 100;
+image(3)[] img = load("hand.nrrd");
+field#2(3)[] F = img ⊛ bspln3;
+
+strand RayCast (int r, int c) {
+    vec3 pos = orig + real(r)*rVec + real(c)*cVec;
+    vec3 dir = normalize(pos - eye);
+    real t = 0.0;
+    real transp = 1.0;
+    output real gray = 0.0;
+
+    update {
+        pos = pos + stepSz*dir;
+        t = t + stepSz;
+        if (inside(pos, F)) {
+            real val = F(pos);
+            if (val > opacMin) {
+                real opac = 1.0 if (val > opacMax)
+                            else (val - opacMin)/(opacMax - opacMin);
+                vec3 norm = -normalize(∇F(pos));
+                gray += transp*opac*max(0.0, -dir • norm);
+                transp *= 1.0 - opac;
+            }
+        }
+        if (t > tMax) stabilize;
+    }
+}
+
+initially [ RayCast(vi, ui) | vi in 0 .. imgResV-1,
+                              ui in 0 .. imgResU-1 ];
+"""
+
+#: paper's strand count for this benchmark (Table 1)
+PAPER_STRANDS = 165_600
+
+#: update-method line span for Table 1's "core" LOC (computed dynamically)
+NAME = "vr-lite"
+
+
+def make_program(precision: str = "double", scale: float = 1.0, volume_size: int = 48):
+    """Compile vr-lite and bind the synthetic hand volume.
+
+    ``scale`` multiplies the image resolution per axis (strand count
+    scales with ``scale²``); at scale 1.0 the grid is 100x100 = 10,000
+    strands vs the paper's 165,600.
+    """
+    from repro.core.driver import compile_program
+
+    prog = compile_program(SOURCE, precision=precision)
+    prog.bind_image("img", hand_phantom(volume_size))
+    res = max(2, int(round(100 * scale)))
+    prog.set_input("imgResU", res)
+    prog.set_input("imgResV", res)
+    # keep the viewport covering the volume at any resolution
+    prog.set_input("cVec", [30.0 / res, 0.0, 0.0])
+    prog.set_input("rVec", [0.0, 30.0 / res, 0.0])
+    return prog

@@ -1,0 +1,373 @@
+"""The compiled-program object: inputs, images, execution, outputs.
+
+Implements the execution model of paper §3.3/§5.5: strands are created by
+the ``initially`` comprehension, then updated in bulk-synchronous
+super-steps until every strand has stabilized or died.  Grid programs
+(``initially [...]``) preserve the comprehension's grid structure in the
+output; collection programs (``initially {...}``) output the stable
+strands as a one-dimensional array.
+
+The compiler "synthesizes glue code that allows command-line setting of
+input variables" (§3.3.1) — see :meth:`Program.cli`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.xform.to_high import HighProgram
+from repro.errors import InputError, RuntimeErrorD
+from repro.image import Image
+from repro.nrrd import read_nrrd
+from repro.runtime.scheduler import (
+    SequentialScheduler,
+    ThreadScheduler,
+    make_blocks,
+)
+
+#: status codes returned by compiled update functions
+RUNNING, STABILIZE, DIE = 0, 1, 2
+
+#: the paper's strand-block size ("currently 4096 strands per block", §5.5)
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass
+class RunResult:
+    """Outputs and execution statistics for one program run."""
+
+    outputs: dict[str, np.ndarray]
+    steps: int
+    num_strands: int
+    num_stable: int
+    num_died: int
+    wall_time: float
+    #: per-super-step list of per-block execution times (seconds), only
+    #: populated when ``collect_trace=True`` — feeds the simulated
+    #: multicore scheduler (DESIGN.md).
+    block_trace: list[list[float]] = field(default_factory=list)
+    #: True when the program used a grid comprehension (outputs keep the
+    #: grid's shape); False for collections
+    grid: bool = True
+    #: number of grid axes (comprehension iterators); 1 for collections
+    grid_dims: int = 1
+
+    def save(self, prefix: str) -> list[str]:
+        """Write every output to ``<prefix>-<name>.nrrd`` (paper §5.5).
+
+        Grid outputs keep their grid axes as spatial axes (up to NRRD's
+        3-D spatial limit); collection outputs are 1-D lists of tensors.
+        Returns the written paths.
+        """
+        from repro.image import Image as _Image
+        from repro.nrrd import write_nrrd as _write
+
+        dim = min(self.grid_dims, 3) if self.grid else 1
+        paths = []
+        for name, arr in self.outputs.items():
+            img = _Image(arr, dim=dim, tensor_shape=tuple(arr.shape[dim:]))
+            path = f"{prefix}-{name}.nrrd"
+            _write(path, img, content=f"diderot output {name!r}")
+            paths.append(path)
+        return paths
+
+
+class _Ctx:
+    """The context object generated functions receive."""
+
+    def __init__(self, images: dict[str, Image], dtype):
+        self.images = images
+        self.dtype = dtype
+
+
+class Program:
+    """A compiled Diderot program, ready to accept inputs and run."""
+
+    def __init__(self, high: HighProgram, namespace: dict, generated_source: str,
+                 dtype, search_path: str, stats):
+        self.high = high
+        self.namespace = namespace
+        self.generated_source = generated_source
+        self.dtype = dtype
+        self.search_path = search_path
+        self.stats = stats
+        self._inputs: dict[str, object] = {}
+        self._bound_images: dict[str, Image] = {}
+        self._ctx: _Ctx | None = None
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def input_names(self) -> list[str]:
+        return list(self.high.input_names)
+
+    @property
+    def output_names(self) -> list[str]:
+        return list(self.high.outputs)
+
+    def set_input(self, name: str, value) -> None:
+        """Set an ``input`` global (overriding any default)."""
+        if name not in self.high.input_names:
+            raise InputError(
+                f"{name!r} is not an input of this program; inputs are "
+                f"{self.high.input_names}"
+            )
+        info = self.high.typed.globals[name]
+        from repro.core.ty.types import BOOL, INT, TensorTy
+
+        ty = info.ty
+        if ty == INT:
+            value = int(value)
+        elif ty == BOOL:
+            value = bool(value)
+        elif isinstance(ty, TensorTy):
+            value = np.asarray(value, dtype=self.dtype)
+            if value.shape != ty.shape:
+                raise InputError(
+                    f"input {name!r} expects shape {ty.shape}, got {value.shape}"
+                )
+            if ty.shape == ():
+                value = self.dtype(value)
+        self._inputs[name] = value
+        self._ctx = None
+
+    def bind_image(self, name: str, image: Image) -> None:
+        """Bind an image global directly, bypassing its load(...) path."""
+        if name not in self.high.images:
+            raise InputError(
+                f"{name!r} is not an image global; images are "
+                f"{sorted(self.high.images)}"
+            )
+        slot = self.high.images[name]
+        if image.dim != slot.dim or image.tensor_shape != tuple(slot.shape):
+            raise InputError(
+                f"image {name!r} expects image({slot.dim}){list(slot.shape)}, "
+                f"got a {image.dim}-D image with tensor shape {image.tensor_shape}"
+            )
+        self._bound_images[name] = image
+        self._ctx = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def _context(self) -> _Ctx:
+        if self._ctx is not None:
+            return self._ctx
+        images: dict[str, Image] = {}
+        for name, slot in self.high.images.items():
+            if name in self._bound_images:
+                img = self._bound_images[name]
+            else:
+                path = os.path.join(self.search_path, slot.path)
+                if not os.path.exists(path):
+                    raise InputError(
+                        f"image global {name!r} loads {slot.path!r}, which "
+                        f"does not exist under {self.search_path!r}; call "
+                        "bind_image() or fix search_path"
+                    )
+                img = read_nrrd(path)
+                if img.dim != slot.dim or img.tensor_shape != tuple(slot.shape):
+                    raise InputError(
+                        f"{slot.path!r} is a {img.dim}-D image with tensor "
+                        f"shape {img.tensor_shape}; {name!r} is declared "
+                        f"image({slot.dim}){list(slot.shape)}"
+                    )
+            images[name] = img.astype(self.dtype)
+        self._ctx = _Ctx(images, self.dtype)
+        return self._ctx
+
+    def _resolve_inputs(self, ctx: _Ctx) -> dict[str, object]:
+        values = dict(self._inputs)
+        missing = [n for n in self.high.input_names if n not in values]
+        if missing:
+            defaults = self.namespace["defaults"](ctx)
+            by_name = dict(zip(self.high.defaulted_inputs, defaults))
+            still_missing = []
+            for name in missing:
+                if name in by_name:
+                    values[name] = by_name[name]
+                else:
+                    still_missing.append(name)
+            if still_missing:
+                raise InputError(
+                    f"inputs {still_missing} have no default and were not set"
+                )
+        return values
+
+    def _globals_tuple(self, ctx: _Ctx) -> list:
+        inputs = self._resolve_inputs(ctx)
+        derived = self.namespace["globals"](
+            ctx, *[inputs[n] for n in self.high.input_names]
+        )
+        derived_names = self.high.globals_func.result_names
+        env = dict(inputs)
+        env.update(zip(derived_names, derived))
+        return [env[n] for n in self.high.concrete_globals]
+
+    def _state_tensor_order(self, name: str) -> int:
+        from repro.core.ty.types import TensorTy
+
+        table = self.high.typed.state if name in self.high.typed.state else self.high.typed.params
+        ty = table[name].ty
+        return len(ty.shape) if isinstance(ty, TensorTy) else 0
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        workers: int = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_steps: int | None = None,
+        collect_trace: bool = False,
+    ) -> RunResult:
+        """Execute the program to completion.
+
+        ``workers > 1`` uses the thread-pool scheduler with a shared,
+        lock-protected work-list of strand blocks (paper §5.5);
+        ``workers == 1`` runs the sequential loop nest.
+        """
+        ctx = self._context()
+        g = self._globals_tuple(ctx)
+        ns = self.namespace
+
+        t0 = time.perf_counter()
+        # comprehension grid
+        bounds = ns["bounds"](ctx, *g)
+        sizes = []
+        los = []
+        for i in range(len(self.high.iter_names)):
+            lo, hi = int(bounds[2 * i]), int(bounds[2 * i + 1])
+            if hi < lo:
+                raise RuntimeErrorD(
+                    f"empty comprehension range {lo}..{hi} for iterator "
+                    f"{self.high.iter_names[i]!r}"
+                )
+            los.append(lo)
+            sizes.append(hi - lo + 1)
+        total = 1
+        for s in sizes:
+            total *= s
+        idx = np.arange(total, dtype=np.int64)
+        iter_vals = []
+        rem = idx
+        for k in range(len(sizes) - 1, -1, -1):
+            iter_vals.insert(0, rem % sizes[k] + los[k])
+            rem = rem // sizes[k]
+
+        params = ns["seed"](ctx, *g, *iter_vals)
+        state = list(ns["init"](ctx, *g, *params))
+        state_names = self.high.init_func.result_names
+        # Initializers that fold to constants come back unbatched; give
+        # every state variable its (strands, *tensor_shape) storage.  Two
+        # state variables initialized from the same SSA value come back as
+        # the same array object — each needs its own storage, since state
+        # is updated in place per block.
+        seen: set[int] = set()
+        for i, (name, arr) in enumerate(zip(state_names, state)):
+            arr = np.asarray(arr)
+            order = self._state_tensor_order(name)
+            if arr.ndim == order:
+                arr = np.broadcast_to(arr, (total,) + arr.shape)
+            arr = np.ascontiguousarray(arr)
+            if not arr.flags.writeable or id(arr) in seen:
+                arr = arr.copy()
+            seen.add(id(arr))
+            state[i] = arr
+
+        status = np.zeros(total, dtype=np.int64)  # RUNNING
+        scheduler = (
+            SequentialScheduler()
+            if workers <= 1
+            else ThreadScheduler(workers)
+        )
+
+        update = ns["update"]
+        stabilize_fn = ns.get("stabilize")
+        steps = 0
+        trace: list[list[float]] = []
+        active_idx = np.arange(total, dtype=np.int64)
+        while active_idx.size:
+            if max_steps is not None and steps >= max_steps:
+                break
+            blocks = make_blocks(active_idx, block_size)
+
+            def run_block(block_idx: np.ndarray) -> tuple[np.ndarray, tuple]:
+                block_state = [s[block_idx] for s in state]
+                out = update(ctx, *g, *block_state)
+                return block_idx, out
+
+            results, times = scheduler.run_step(blocks, run_block)
+            if collect_trace:
+                trace.append(times)
+            newly_stable_all = []
+            for block_idx, out in results:
+                *new_state, block_status = out
+                for s_arr, new in zip(state, new_state):
+                    s_arr[block_idx] = new
+                status[block_idx] = block_status
+                stable_mask = block_status == STABILIZE
+                if np.any(stable_mask):
+                    newly_stable_all.append(block_idx[stable_mask])
+            if stabilize_fn is not None and newly_stable_all:
+                stable_idx = np.concatenate(newly_stable_all)
+                block_state = [s[stable_idx] for s in state]
+                new_state = stabilize_fn(ctx, *g, *block_state)
+                for s_arr, new in zip(state, new_state):
+                    s_arr[stable_idx] = new
+            active_idx = active_idx[status[active_idx] == RUNNING]
+            steps += 1
+
+        wall = time.perf_counter() - t0
+        n_stable = int(np.sum(status == STABILIZE))
+        n_died = int(np.sum(status == DIE))
+
+        outputs: dict[str, np.ndarray] = {}
+        name_to_arr = dict(zip(state_names, state))
+        if self.high.grid:
+            for out in self.high.outputs:
+                arr = name_to_arr[out]
+                outputs[out] = arr.reshape(tuple(sizes) + arr.shape[1:])
+        else:
+            keep = status == STABILIZE
+            for out in self.high.outputs:
+                outputs[out] = name_to_arr[out][keep]
+        return RunResult(
+            outputs=outputs,
+            steps=steps,
+            num_strands=total,
+            num_stable=n_stable,
+            num_died=n_died,
+            wall_time=wall,
+            block_trace=trace,
+            grid=self.high.grid,
+            grid_dims=len(self.high.iter_names),
+        )
+
+    # -- synthesized CLI glue (paper §3.3.1) ---------------------------------------
+
+    def cli(self, argv: list[str] | None = None) -> RunResult:
+        """Parse ``--name value`` arguments for each input, then run.
+
+        This is the "glue code that allows command-line setting of input
+        variables" the compiler synthesizes in the paper.
+        """
+        import argparse
+
+        parser = argparse.ArgumentParser(description="Diderot program")
+        for name in self.high.input_names:
+            parser.add_argument(f"--{name}", type=str, default=None)
+        parser.add_argument("--workers", type=int, default=1)
+        parser.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+        args = parser.parse_args(argv)
+        for name in self.high.input_names:
+            raw = getattr(args, name)
+            if raw is not None:
+                if raw.startswith("["):
+                    value = [float(x) for x in raw.strip("[]").split(",")]
+                else:
+                    value = float(raw) if ("." in raw or "e" in raw) else int(raw)
+                self.set_input(name, value)
+        return self.run(workers=args.workers, block_size=args.block_size)

@@ -1,0 +1,97 @@
+"""Bulk-synchronous strand scheduling (paper §5.5).
+
+"Execution is divided into super steps; during a super-step each strand's
+update method is evaluated once ... For the sequential target, the runtime
+implements this model as a loop nest ... The parallel version creates a
+collection of worker threads and manages a work-list of strands.  To keep
+synchronization overhead low, the strands in the work-list are organized
+into blocks of strands (currently 4096 strands per block).  During a
+super-step, each worker grabs and updates strands until the work-list is
+empty.  Barrier synchronization is used to coordinate the threads at the
+end of a super step."
+
+Both schedulers execute one *super-step* when called: they are handed the
+list of strand blocks and a function that updates one block, and they
+return the per-block results plus per-block wall-clock times (the raw
+material for the simulated-multicore analysis in
+:mod:`repro.runtime.simsched`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+
+def make_blocks(active_idx: np.ndarray, block_size: int) -> list[np.ndarray]:
+    """Split the active strand indices into work-list blocks."""
+    if block_size <= 0:
+        raise ValueError("block size must be positive")
+    return [
+        active_idx[i : i + block_size]
+        for i in range(0, active_idx.size, block_size)
+    ]
+
+
+class SequentialScheduler:
+    """The sequential loop nest: one block after another."""
+
+    def run_step(self, blocks, run_block):
+        results = []
+        times = []
+        for block in blocks:
+            t0 = time.perf_counter()
+            results.append(run_block(block))
+            times.append(time.perf_counter() - t0)
+        return results, times
+
+
+class ThreadScheduler:
+    """Worker threads pulling blocks from a lock-protected work-list.
+
+    This is a direct port of the paper's runtime structure.  (CPython's
+    GIL limits the speedup NumPy-bound workers can realize; the simulated
+    scheduler in :mod:`repro.runtime.simsched` reproduces the paper's
+    scaling results from measured block costs — see DESIGN.md.)
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+
+    def run_step(self, blocks, run_block):
+        work = list(enumerate(blocks))
+        lock = threading.Lock()
+        results: list = [None] * len(blocks)
+        times: list = [0.0] * len(blocks)
+        errors: list = []
+
+        def worker() -> None:
+            while True:
+                with lock:  # the work-list lock the paper discusses (§6.4)
+                    if not work:
+                        return
+                    i, block = work.pop(0)
+                try:
+                    t0 = time.perf_counter()
+                    results[i] = run_block(block)
+                    times[i] = time.perf_counter() - t0
+                except BaseException as exc:  # propagate after the barrier
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, name=f"diderot-worker-{i}")
+            for i in range(min(self.workers, max(1, len(blocks))))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:  # barrier at the end of the super-step
+            t.join()
+        if errors:
+            raise errors[0]
+        return results, times

@@ -1,0 +1,194 @@
+"""Closed-form eigensystems for symmetric 2x2 and 3x3 matrices.
+
+Ridge detection (paper §6.2, ridge3d) needs the eigenvalues and eigenvectors
+of the Hessian at every probe position, so the decomposition must be cheap
+and vectorizable across strands.  We use the analytic solutions: the
+quadratic formula in 2-D and the trigonometric (Cardano) solution of the
+characteristic cubic in 3-D, with eigenvectors recovered from cross products
+of rows of ``A - λI``.
+
+Eigenvalues are returned in **descending** order (λ₁ ≥ λ₂ ≥ …), matching the
+convention of the curvature formulas in paper §4.1, with eigenvectors ordered
+to match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Relative threshold below which a candidate eigenvector cross-product is
+# considered degenerate and another row pair is tried instead.
+_DEGENERATE = 1e-24
+
+
+def _sym2_eigenvalues(m: np.ndarray) -> np.ndarray:
+    a = m[..., 0, 0]
+    b = m[..., 0, 1]
+    d = m[..., 1, 1]
+    mean = 0.5 * (a + d)
+    # radius of the eigenvalue pair around the mean
+    rad = np.sqrt(np.maximum(0.25 * (a - d) ** 2 + b * b, 0.0))
+    return np.stack([mean + rad, mean - rad], axis=-1)
+
+
+def _sym3_eigenvalues(m: np.ndarray) -> np.ndarray:
+    # Trigonometric solution of the characteristic polynomial of a symmetric
+    # 3x3 matrix (Smith 1961).  Work on the deviatoric part B = (A - q I)/p
+    # whose eigenvalues are 2 cos(theta + 2k pi/3).
+    q = np.trace(m, axis1=-2, axis2=-1) / 3.0
+    a01, a02, a12 = m[..., 0, 1], m[..., 0, 2], m[..., 1, 2]
+    p2 = (
+        (m[..., 0, 0] - q) ** 2
+        + (m[..., 1, 1] - q) ** 2
+        + (m[..., 2, 2] - q) ** 2
+        + 2.0 * (a01 * a01 + a02 * a02 + a12 * a12)
+    )
+    p = np.sqrt(np.maximum(p2 / 6.0, 0.0))
+    eye = np.eye(3, dtype=m.dtype)
+    safe_p = np.where(p > 0, p, 1.0)
+    b = (m - q[..., None, None] * eye) / safe_p[..., None, None]
+    # det(B)/2, clamped into acos's domain against round-off
+    half_det = 0.5 * _det3(b)
+    half_det = np.clip(half_det, -1.0, 1.0)
+    phi = np.arccos(half_det) / 3.0
+    lam0 = q + 2.0 * p * np.cos(phi)
+    lam2 = q + 2.0 * p * np.cos(phi + 2.0 * np.pi / 3.0)
+    lam1 = 3.0 * q - lam0 - lam2
+    out = np.stack([lam0, lam1, lam2], axis=-1)
+    # p == 0 means A is already a multiple of the identity
+    isotropic = (p == 0)[..., None]
+    return np.where(isotropic, q[..., None] * np.ones_like(out), out)
+
+
+def _det3(m: np.ndarray) -> np.ndarray:
+    return (
+        m[..., 0, 0] * (m[..., 1, 1] * m[..., 2, 2] - m[..., 1, 2] * m[..., 2, 1])
+        - m[..., 0, 1] * (m[..., 1, 0] * m[..., 2, 2] - m[..., 1, 2] * m[..., 2, 0])
+        + m[..., 0, 2] * (m[..., 1, 0] * m[..., 2, 1] - m[..., 1, 1] * m[..., 2, 0])
+    )
+
+
+def evals(m: np.ndarray) -> np.ndarray:
+    """Eigenvalues of a symmetric 2x2 or 3x3 matrix, descending.
+
+    ``m`` may have arbitrary leading batch axes.  The matrix is symmetrized
+    (``(m + mᵀ)/2``) first, since Diderot's ``evals`` is only defined on
+    symmetric arguments and probe round-off can introduce tiny asymmetry.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    m = 0.5 * (m + np.swapaxes(m, -1, -2))
+    n = m.shape[-1]
+    if m.shape[-2] != n or n not in (2, 3):
+        raise ValueError(f"evals requires a 2x2 or 3x3 matrix, got {m.shape[-2:]}")
+    if n == 2:
+        return _sym2_eigenvalues(m)
+    return _sym3_eigenvalues(m)
+
+
+def _evec_raw(m: np.ndarray, lam: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """A unit eigenvector of symmetric 3x3 ``m`` for eigenvalue ``lam``,
+    plus a relative confidence in [0, ~1].
+
+    The eigenvector is orthogonal to every row of ``A - λI``, so it lies
+    along the cross product of any two independent rows; we compute all
+    three row-pair cross products and keep the longest.  Confidence is that
+    length relative to the squared magnitude of ``A - λI``; it vanishes
+    exactly when λ is (numerically) a repeated eigenvalue, where the rows
+    are pairwise parallel and the eigenspace is a plane or all of space.
+    """
+    a = m - lam[..., None, None] * np.eye(3, dtype=m.dtype)
+    r0, r1, r2 = a[..., 0, :], a[..., 1, :], a[..., 2, :]
+    c01 = np.cross(r0, r1)
+    c02 = np.cross(r0, r2)
+    c12 = np.cross(r1, r2)
+    cands = np.stack([c01, c02, c12], axis=-2)
+    lens = np.sum(cands * cands, axis=-1)
+    best = np.argmax(lens, axis=-1)
+    vec = np.take_along_axis(cands, best[..., None, None], axis=-2)[..., 0, :]
+    len2 = np.sum(vec * vec, axis=-1, keepdims=True)
+    scale2 = np.sum(a * a, axis=(-2, -1))[..., None]  # ~ |A - λI|²
+    conf = np.sqrt(len2) / np.maximum(scale2, _DEGENERATE)
+    length = np.sqrt(len2)
+    good = length > _DEGENERATE
+    with np.errstate(invalid="ignore", divide="ignore"):
+        unit = vec / length
+    fallback = np.broadcast_to(np.array([1.0, 0.0, 0.0]), vec.shape)
+    return np.where(good, unit, fallback), np.where(good, conf, 0.0)[..., 0]
+
+
+def evecs(m: np.ndarray) -> np.ndarray:
+    """Orthonormal eigenvectors of a symmetric 2x2 or 3x3 matrix.
+
+    Returns an array whose trailing shape is ``(n, n)``; row ``i`` is the
+    unit eigenvector paired with ``evals(m)[..., i]`` (descending order).
+    """
+    m = np.asarray(m, dtype=np.float64)
+    m = 0.5 * (m + np.swapaxes(m, -1, -2))
+    n = m.shape[-1]
+    lam = evals(m)
+    if n == 2:
+        # Eigenvector of [[a,b],[b,d]] for λ: (b, λ-a), or (λ-d, b).
+        a = m[..., 0, 0]
+        b = m[..., 0, 1]
+        d = m[..., 1, 1]
+        vecs = []
+        for i in range(2):
+            li = lam[..., i]
+            v1 = np.stack([b, li - a], axis=-1)
+            v2 = np.stack([li - d, b], axis=-1)
+            n1 = np.sum(v1 * v1, axis=-1, keepdims=True)
+            n2 = np.sum(v2 * v2, axis=-1, keepdims=True)
+            v = np.where(n1 >= n2, v1, v2)
+            length = np.sqrt(np.maximum(np.sum(v * v, axis=-1, keepdims=True), 0.0))
+            good = length > _DEGENERATE
+            with np.errstate(invalid="ignore", divide="ignore"):
+                unit = v / length
+            axis = np.zeros_like(v)
+            axis[..., i] = 1.0
+            vecs.append(np.where(good, unit, axis))
+        return np.stack(vecs, axis=-2)
+    v0, c0 = _evec_raw(m, lam[..., 0])
+    v2, c2 = _evec_raw(m, lam[..., 2])
+    # Repeated eigenvalues leave one (or both) vectors undetermined — their
+    # eigenspace is a plane (or everything).  Use whichever end is well
+    # determined to span the other:
+    weak = 1e-10
+    w0 = (c0 <= weak)[..., None]
+    w2 = (c2 <= weak)[..., None]
+    ortho2 = _orthogonal_unit(v2)
+    # if λ0 is repeated, its eigenspace is the plane ⊥ v2
+    v0 = np.where(w0 & ~w2, ortho2, v0)
+    # if both are undetermined (isotropic), any orthonormal frame works
+    v0 = np.where(w0 & w2, np.broadcast_to(np.array([1.0, 0.0, 0.0]), v0.shape), v0)
+    ortho0 = _orthogonal_unit(v0)
+    v2 = np.where(w2, ortho0, v2)
+    # Re-orthogonalize v2 against v0 (they can coincide under near-repeated
+    # eigenvalues), then complete the right-handed frame.
+    v2 = v2 - np.sum(v2 * v0, axis=-1, keepdims=True) * v0
+    l2 = np.sqrt(np.sum(v2 * v2, axis=-1, keepdims=True))
+    alt = _orthogonal_unit(v0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        v2n = v2 / l2
+    v2 = np.where(l2 > _DEGENERATE, v2n, alt)
+    v1 = np.cross(v2, v0)
+    return np.stack([v0, v1, v2], axis=-2)
+
+
+def _orthogonal_unit(v: np.ndarray) -> np.ndarray:
+    """Some unit vector orthogonal to unit vector ``v`` (3-D)."""
+    # Cross with whichever coordinate axis is least aligned with v.
+    ax = np.argmin(np.abs(v), axis=-1)
+    basis = np.eye(3, dtype=v.dtype)
+    e = basis[ax]
+    w = np.cross(v, e)
+    length = np.sqrt(np.sum(w * w, axis=-1, keepdims=True))
+    return w / np.where(length > 0, length, 1.0)
+
+
+def eigen_symmetric(m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Eigenvalues and eigenvectors of a symmetric matrix, descending.
+
+    Convenience wrapper returning ``(evals(m), evecs(m))`` with the vectors
+    computed once.
+    """
+    return evals(m), evecs(m)

@@ -1,0 +1,150 @@
+"""Small-tensor operations, vectorized over leading axes.
+
+Conventions
+-----------
+A *tensor of shape* ``s`` (in the Diderot sense — paper §3.1) is stored as a
+NumPy array whose **trailing** ``len(s)`` axes are the tensor axes; any
+leading axes are batch ("strand") axes and every operation broadcasts over
+them.  A scalar is a 0-order tensor: an array with no trailing tensor axes.
+
+These functions implement the operator set of paper §3.2: dot product
+(``u • v``), cross product (``u × v``), tensor product (``u ⊗ v``), norm
+(``|u|``), plus ``trace``, ``normalize``, ``identity[n]``, transpose, and
+determinant, which the examples in §4 rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dot(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Inner product ``u • v`` contracting the last axis of each operand.
+
+    For two vectors this is the dot product; for matrices it contracts the
+    last axis of ``u`` with the last axis of ``v`` is *not* what Diderot's
+    ``•`` does — Diderot contracts adjacent indices, so for a matrix ``M``
+    and vector ``v``, ``M • v`` is the usual matrix-vector product.  This
+    helper handles the vector•vector, matrix•vector, and matrix•matrix cases.
+    """
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if u.ndim == 1 and v.ndim == 1:
+        return np.sum(u * v, axis=-1)
+    if (
+        u.ndim == v.ndim
+        and u.shape == v.shape
+        and (u.ndim == 1 or u.shape[-1] != u.shape[-2])
+    ):
+        # batched vectors: equal non-square shapes can only mean a lane
+        # axis over same-length vectors.  (Batched code should prefer
+        # repro.runtime.ops.dot_ord, which takes explicit tensor orders.)
+        return np.sum(u * v, axis=-1)
+    if u.ndim >= 2 and v.ndim >= 1 and u.shape[-1] == v.shape[-1] and v.ndim == u.ndim - 1:
+        # matrix • vector: contract last axis of u with last axis of v
+        return np.einsum("...ij,...j->...i", u, v)
+    if u.ndim >= 2 and v.ndim >= 2:
+        return np.matmul(u, v)
+    return np.sum(u * v, axis=-1)
+
+
+def cross(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Cross product ``u × v`` of 3-vectors (or the scalar 2-D analogue)."""
+    u = np.asarray(u)
+    v = np.asarray(v)
+    if u.shape[-1] == 2:
+        return u[..., 0] * v[..., 1] - u[..., 1] * v[..., 0]
+    return np.cross(u, v)
+
+
+def outer(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Tensor (outer) product ``u ⊗ v``.
+
+    The result's trailing shape is the concatenation of the operands'
+    trailing vector shapes.  Only the vector ⊗ vector case is needed by the
+    language (e.g. ``n ⊗ n`` in the curvature example, Figure 3).
+    """
+    u = np.asarray(u)
+    v = np.asarray(v)
+    return u[..., :, None] * v[..., None, :]
+
+
+def norm(t: np.ndarray, order: int = 1) -> np.ndarray:
+    """Norm ``|t|``: absolute value, Euclidean norm, or Frobenius norm.
+
+    ``order`` is the tensor order of ``t`` (the number of trailing tensor
+    axes); the same formula — sqrt of the sum of squared components — covers
+    all three cases.
+    """
+    t = np.asarray(t)
+    if order == 0:
+        return np.abs(t)
+    axes = tuple(range(-order, 0))
+    return np.sqrt(np.sum(t * t, axis=axes))
+
+
+def frobenius(m: np.ndarray) -> np.ndarray:
+    """Frobenius norm ``|G|`` of a matrix (used by the curvature example)."""
+    return norm(m, order=2)
+
+
+def normalize(u: np.ndarray) -> np.ndarray:
+    """Unit vector in the direction of ``u``.
+
+    A zero vector normalizes to zero rather than NaN: strand code routinely
+    normalizes gradients that may vanish at critical points, and the paper's
+    examples guard against the consequences downstream, not at the callsite.
+    """
+    u = np.asarray(u)
+    n = np.sqrt(np.sum(u * u, axis=-1, keepdims=True))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = u / n
+    return np.where(n > 0, out, 0.0)
+
+
+def trace(m: np.ndarray) -> np.ndarray:
+    """Trace of a square matrix (sum of the diagonal)."""
+    m = np.asarray(m)
+    return np.trace(m, axis1=-2, axis2=-1)
+
+
+def transpose(m: np.ndarray) -> np.ndarray:
+    """Matrix transpose, swapping the two trailing axes."""
+    m = np.asarray(m)
+    return np.swapaxes(m, -1, -2)
+
+
+def determinant(m: np.ndarray) -> np.ndarray:
+    """Determinant of a 2x2 or 3x3 matrix, in closed form.
+
+    Closed form (rather than ``np.linalg.det``) keeps the operation exact for
+    float32 inputs and cheap for the small matrices Diderot manipulates.
+    """
+    m = np.asarray(m)
+    n = m.shape[-1]
+    if m.shape[-2] != n:
+        raise ValueError(f"determinant requires a square matrix, got {m.shape[-2:]}")
+    if n == 1:
+        return m[..., 0, 0]
+    if n == 2:
+        return m[..., 0, 0] * m[..., 1, 1] - m[..., 0, 1] * m[..., 1, 0]
+    if n == 3:
+        return (
+            m[..., 0, 0] * (m[..., 1, 1] * m[..., 2, 2] - m[..., 1, 2] * m[..., 2, 1])
+            - m[..., 0, 1] * (m[..., 1, 0] * m[..., 2, 2] - m[..., 1, 2] * m[..., 2, 0])
+            + m[..., 0, 2] * (m[..., 1, 0] * m[..., 2, 1] - m[..., 1, 1] * m[..., 2, 0])
+        )
+    raise ValueError(f"determinant supports 1x1..3x3 matrices, got {n}x{n}")
+
+
+def identity(n: int, dtype=np.float64) -> np.ndarray:
+    """The ``identity[n]`` literal: the n x n identity matrix."""
+    return np.eye(n, dtype=dtype)
+
+
+def lerp(a: np.ndarray, b: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Linear interpolation ``a + t*(b - a)``, broadcasting all operands."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    t = np.asarray(t)
+    return a + t * (b - a)

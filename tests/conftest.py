@@ -1,0 +1,48 @@
+"""Shared fixtures: synthetic images and compiled programs (small scales).
+
+Session-scoped where construction is expensive; every test that mutates a
+program gets its own instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    hand_phantom,
+    lung_phantom,
+    noise_texture,
+    portrait_phantom,
+    vector_field_2d,
+)
+
+
+@pytest.fixture(scope="session")
+def hand32():
+    return hand_phantom(32)
+
+
+@pytest.fixture(scope="session")
+def lung32():
+    return lung_phantom(32)
+
+
+@pytest.fixture(scope="session")
+def vectors32():
+    return vector_field_2d(32)
+
+
+@pytest.fixture(scope="session")
+def noise32():
+    return noise_texture(32)
+
+
+@pytest.fixture(scope="session")
+def portrait64():
+    return portrait_phantom(64)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,132 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.image import Image
+from repro.nrrd import read_nrrd, write_nrrd
+
+PROGRAM = """
+input int res = 8;
+input real scale = 1.0;
+image(2)[] img = load("data.nrrd");
+field#0(2)[] F = img ⊛ tent;
+strand S (int i, int j) {
+    output real v = 0.0;
+    update {
+        vec2 p = [real(i), real(j)];
+        if (inside(p, F)) v = scale * F(p);
+        stabilize;
+    }
+}
+initially [ S(i, j) | i in 0 .. res-1, j in 0 .. res-1 ];
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    src = tmp_path / "prog.diderot"
+    src.write_text(PROGRAM, encoding="utf-8")
+    data = Image(np.arange(64.0).reshape(8, 8), dim=2)
+    write_nrrd(str(tmp_path / "data.nrrd"), data)
+    return tmp_path
+
+
+class TestCli:
+    def test_run_and_write_nrrd(self, workspace, capsys):
+        out_prefix = str(workspace / "res")
+        code = main([str(workspace / "prog.diderot"), "--out", out_prefix])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "64 strands" in captured
+        img = read_nrrd(f"{out_prefix}-v.nrrd")
+        assert img.sizes == (8, 8)
+        assert img.data[3, 4] == pytest.approx(3 * 8 + 4)
+
+    def test_inputs_from_flags(self, workspace):
+        out_prefix = str(workspace / "res2")
+        code = main([
+            str(workspace / "prog.diderot"),
+            "--input", "scale=2.0",
+            "--input", "res=4",
+            "--out", out_prefix,
+        ])
+        assert code == 0
+        img = read_nrrd(f"{out_prefix}-v.nrrd")
+        assert img.sizes == (4, 4)
+        assert img.data[1, 1] == pytest.approx(2.0 * 9.0)
+
+    def test_text_output(self, workspace):
+        out_prefix = str(workspace / "txt")
+        code = main([str(workspace / "prog.diderot"), "--text", "--out", out_prefix])
+        assert code == 0
+        vals = np.loadtxt(f"{out_prefix}-v.txt")
+        assert vals.shape == (8, 8)
+
+    def test_emit_python(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--emit-python"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "def update(" in out
+        assert "rt.gather" in out
+
+    def test_stats(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--stats",
+                     "--out", str(workspace / "s")])
+        assert code == 0
+        assert "instruction counts" in capsys.readouterr().out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.diderot"
+        bad.write_text("strand S (int i) { update { } }", encoding="utf-8")
+        code = main([str(bad)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main([str(tmp_path / "nope.diderot")])
+        assert code == 1
+
+    def test_bad_input_syntax(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--input", "scale"])
+        assert code == 1
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_unknown_input_name(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--input", "nope=1"])
+        assert code == 1
+
+    def test_precision_flag(self, workspace):
+        out_prefix = str(workspace / "f32")
+        code = main([str(workspace / "prog.diderot"), "--precision", "single",
+                     "--out", out_prefix])
+        assert code == 0
+        img = read_nrrd(f"{out_prefix}-v.nrrd")
+        assert img.sizes == (8, 8)
+
+
+class TestStandalonePrograms:
+    """The .diderot files under examples/programs/ compile via the CLI."""
+
+    @pytest.fixture(scope="class")
+    def progdir(self):
+        import repro
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        d = os.path.join(os.path.dirname(root), "examples", "programs")
+        if not os.path.exists(os.path.join(d, "hand.nrrd")):
+            pytest.skip("run examples/make_data.py first")
+        return d
+
+    def test_isocontour_via_cli(self, progdir, tmp_path):
+        code = main([
+            os.path.join(progdir, "isocontour.diderot"),
+            "--input", "resU=20", "--input", "resV=20",
+            "--out", str(tmp_path / "iso"),
+        ])
+        assert code == 0
+        img = read_nrrd(str(tmp_path / "iso-pos.nrrd"))
+        assert img.tensor_shape == (2,)

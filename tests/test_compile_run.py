@@ -1,0 +1,453 @@
+"""End-to-end behavioral tests: compile and run small Diderot programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import compile_program
+from repro.errors import CompileError, InputError, RuntimeErrorD
+from repro.image import Image
+
+
+def run(src: str, images: dict | None = None, inputs: dict | None = None, **kw):
+    prog = compile_program(src, **{k: v for k, v in kw.items() if k in ("precision", "optimize")})
+    for name, img in (images or {}).items():
+        prog.bind_image(name, img)
+    for name, val in (inputs or {}).items():
+        prog.set_input(name, val)
+    return prog.run(**{k: v for k, v in kw.items() if k in ("workers", "block_size", "max_steps")})
+
+
+def simple(body: str, state: str = "output real x = 0.0;", globs: str = "",
+           init: str = "initially [ S(i) | i in 0 .. 9 ];") -> str:
+    return f"""
+        {globs}
+        strand S (int i) {{
+            {state}
+            update {{ {body} }}
+        }}
+        {init}
+    """
+
+
+class TestArithmetic:
+    def test_int_ops(self):
+        src = simple(
+            "n = (17 / 5) * 10 + 17 % 5 - 1; stabilize;",
+            state="output int n = 0;",
+        )
+        res = run(src)
+        assert np.all(res.outputs["n"] == 3 * 10 + 2 - 1)
+
+    def test_negative_int_division_truncates(self):
+        src = simple(
+            "n = a / b; stabilize;",
+            state="output int n = 0;",
+            globs="input int a = -7; input int b = 2;",
+        )
+        assert np.all(run(src).outputs["n"] == -3)
+
+    def test_real_math_functions(self):
+        src = simple(
+            "x = sqrt(4.0) + cos(0.0) + atan2(0.0, 1.0) + pow(2.0, 3.0); stabilize;",
+        )
+        assert np.allclose(run(src).outputs["x"], 2.0 + 1.0 + 0.0 + 8.0)
+
+    def test_pi_constant(self):
+        src = simple("x = sin(π / 2.0); stabilize;")
+        assert np.allclose(run(src).outputs["x"], 1.0)
+
+    def test_power_operator(self):
+        src = simple("x = 3.0^2 + 2.0^-1; stabilize;")
+        assert np.allclose(run(src).outputs["x"], 9.5)
+
+    def test_clamp_lerp(self):
+        src = simple("x = clamp(0.0, 1.0, 2.5) + lerp(10.0, 20.0, 0.25); stabilize;")
+        assert np.allclose(run(src).outputs["x"], 1.0 + 12.5)
+
+    def test_per_strand_computation(self):
+        src = simple("x = real(i) * real(i); stabilize;")
+        assert np.allclose(run(src).outputs["x"], np.arange(10.0) ** 2)
+
+
+class TestTensors:
+    def test_vector_ops(self):
+        src = simple(
+            """
+            vec3 u = [1.0, 2.0, 2.0];
+            vec3 v = [0.0, 1.0, 0.0];
+            x = |u| + u • v + (u × v)[2];
+            stabilize;
+            """
+        )
+        assert np.allclose(run(src).outputs["x"], 3.0 + 2.0 + 1.0)
+
+    def test_matrix_ops(self):
+        src = simple(
+            """
+            tensor[2,2] m = [[1.0, 2.0], [3.0, 4.0]];
+            x = trace(m) + det(m) + transpose(m)[0,1] + |m|^2;
+            stabilize;
+            """
+        )
+        assert np.allclose(run(src).outputs["x"], 5.0 - 2.0 + 3.0 + 30.0)
+
+    def test_eigen_in_dsl(self):
+        src = simple(
+            """
+            tensor[2,2] m = [[2.0, 0.0], [0.0, 5.0]];
+            vec2 lam = evals(m);
+            tensor[2,2] e = evecs(m);
+            x = lam[0] + 10.0*lam[1] + |e[0]|;
+            stabilize;
+            """
+        )
+        assert np.allclose(run(src).outputs["x"], 5.0 + 20.0 + 1.0)
+
+    def test_vector_output(self):
+        src = simple(
+            "v = [real(i), 2.0*real(i)]; stabilize;",
+            state="output vec2 v = [0.0, 0.0];",
+        )
+        out = run(src).outputs["v"]
+        assert out.shape == (10, 2)
+        assert np.allclose(out[:, 1], 2.0 * np.arange(10))
+
+    def test_identity_and_outer(self):
+        src = simple(
+            """
+            vec2 n = [1.0, 0.0];
+            tensor[2,2] p = identity[2] - n⊗n;
+            x = p[0,0] + p[1,1];
+            stabilize;
+            """
+        )
+        assert np.allclose(run(src).outputs["x"], 1.0)
+
+
+class TestControlFlow:
+    def test_conditional_expression(self):
+        src = simple("x = 1.0 if i < 5 else 2.0; stabilize;")
+        out = run(src).outputs["x"]
+        assert np.allclose(out[:5], 1.0) and np.allclose(out[5:], 2.0)
+
+    def test_if_else_statement(self):
+        src = simple("if (i % 2 == 0) x = 1.0; else x = -1.0; stabilize;")
+        out = run(src).outputs["x"]
+        assert np.allclose(out[::2], 1.0) and np.allclose(out[1::2], -1.0)
+
+    def test_boolean_operators(self):
+        src = simple("if (i > 2 && !(i > 7) || i == 0) x = 1.0; stabilize;")
+        out = run(src).outputs["x"]
+        expected = [(i > 2 and not i > 7) or i == 0 for i in range(10)]
+        assert np.allclose(out, np.array(expected, dtype=float))
+
+    def test_multi_step_loop(self):
+        src = simple(
+            """
+            x += 1.0;
+            n += 1;
+            if (n == i + 1) stabilize;
+            """,
+            state="output real x = 0.0;\nint n = 0;",
+        )
+        res = run(src)
+        assert np.allclose(res.outputs["x"], np.arange(1.0, 11.0))
+        assert res.steps == 10
+
+    def test_early_stabilize_freezes_state(self):
+        src = simple(
+            """
+            if (i < 3) stabilize;
+            x += 1.0;
+            if (x >= 2.0) stabilize;
+            """,
+        )
+        out = run(src).outputs["x"]
+        assert np.allclose(out[:3], 0.0)
+        assert np.allclose(out[3:], 2.0)
+
+
+class TestDieAndCollections:
+    def test_collection_excludes_dead(self):
+        src = simple(
+            "if (i % 2 == 0) die; x = real(i); stabilize;",
+            init="initially { S(i) | i in 0 .. 9 };",
+        )
+        res = run(src)
+        assert res.num_died == 5 and res.num_stable == 5
+        assert np.allclose(res.outputs["x"], [1, 3, 5, 7, 9])
+
+    def test_grid_keeps_shape(self):
+        src = """
+            strand S (int i, int j) {
+                output real x = 0.0;
+                update { x = real(i) * 10.0 + real(j); stabilize; }
+            }
+            initially [ S(i, j) | i in 0 .. 3, j in 0 .. 4 ];
+        """
+        out = run(src).outputs["x"]
+        assert out.shape == (4, 5)
+        assert out[2, 3] == 23.0
+
+    def test_iteration_order_last_fastest(self):
+        src = """
+            strand S (int i, int j) {
+                output real x = 0.0;
+                update { x = real(i * 100 + j); stabilize; }
+            }
+            initially { S(i, j) | i in 0 .. 1, j in 0 .. 2 };
+        """
+        out = run(src).outputs["x"]
+        assert np.allclose(out, [0, 1, 2, 100, 101, 102])
+
+    def test_nonzero_range_bounds(self):
+        src = simple("x = real(i); stabilize;",
+                     init="initially [ S(i) | i in 3 .. 7 ];")
+        assert np.allclose(run(src).outputs["x"], [3, 4, 5, 6, 7])
+
+    def test_empty_range_rejected(self):
+        src = simple("stabilize;", init="initially [ S(i) | i in 5 .. 2 ];")
+        with pytest.raises(RuntimeErrorD, match="empty comprehension"):
+            run(src)
+
+
+class TestStabilizeMethod:
+    def test_runs_once_on_stabilization(self):
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update {
+                    x += 1.0;
+                    if (x >= real(i + 1)) stabilize;
+                }
+                stabilize { x = -x; }
+            }
+            initially [ S(i) | i in 0 .. 4 ];
+        """
+        out = run(src).outputs["x"]
+        assert np.allclose(out, [-1, -2, -3, -4, -5])
+
+    def test_not_run_for_dead_strands(self):
+        src = """
+            strand S (int i) {
+                output real x = 5.0;
+                update {
+                    if (i == 0) die;
+                    stabilize;
+                }
+                stabilize { x = 1.0; }
+            }
+            initially { S(i) | i in 0 .. 3 };
+        """
+        out = run(src).outputs["x"]
+        assert np.allclose(out, 1.0) and out.shape == (3,)
+
+
+class TestParamsAndState:
+    def test_param_used_in_update_persists(self):
+        src = """
+            strand S (int seed) {
+                output real x = 0.0;
+                update {
+                    x += real(seed);
+                    if (x >= 3.0 * real(seed)) stabilize;
+                }
+            }
+            initially [ S(i + 1) | i in 0 .. 3 ];
+        """
+        out = run(src).outputs["x"]
+        assert np.allclose(out, [3.0, 6.0, 9.0, 12.0])
+
+    def test_two_state_vars_same_init_independent(self):
+        """Regression: aliased initial state must not cross-contaminate."""
+        src = simple(
+            "a += 1.0; stabilize;",
+            state="output real a = 0.0;\noutput real b = 0.0;",
+        )
+        res = run(src)
+        assert np.allclose(res.outputs["a"], 1.0)
+        assert np.allclose(res.outputs["b"], 0.0)
+
+    def test_local_shadow_scope(self):
+        src = simple(
+            "{ real t = 5.0; x = t; } { real t = 7.0; x += t; } stabilize;"
+        )
+        assert np.allclose(run(src).outputs["x"], 12.0)
+
+
+class TestInputs:
+    def test_default_used_when_unset(self):
+        src = simple("x = g; stabilize;", globs="input real g = 2.5;")
+        assert np.allclose(run(src).outputs["x"], 2.5)
+
+    def test_override_default(self):
+        src = simple("x = g; stabilize;", globs="input real g = 2.5;")
+        assert np.allclose(run(src, inputs={"g": 7.0}).outputs["x"], 7.0)
+
+    def test_missing_required_input(self):
+        src = simple("x = g; stabilize;", globs="input real g;")
+        with pytest.raises(InputError, match="no default"):
+            run(src)
+
+    def test_unknown_input_rejected(self):
+        src = simple("stabilize;")
+        prog = compile_program(src)
+        with pytest.raises(InputError, match="not an input"):
+            prog.set_input("nope", 1)
+
+    def test_wrong_shape_input(self):
+        src = simple("x = v[0]; stabilize;", globs="input vec3 v;")
+        prog = compile_program(src)
+        with pytest.raises(InputError, match="shape"):
+            prog.set_input("v", [1.0, 2.0])
+
+    def test_vector_input(self):
+        src = simple("x = v • v; stabilize;", globs="input vec2 v;")
+        assert np.allclose(run(src, inputs={"v": [3.0, 4.0]}).outputs["x"], 25.0)
+
+    def test_bool_input(self):
+        src = simple("x = 1.0 if b else 0.0; stabilize;", globs="input bool b;")
+        assert np.allclose(run(src, inputs={"b": True}).outputs["x"], 1.0)
+
+    def test_derived_globals(self):
+        src = simple(
+            "x = h; stabilize;",
+            globs="input real g = 3.0;\nreal h = g * 2.0 + 1.0;",
+        )
+        assert np.allclose(run(src).outputs["x"], 7.0)
+
+    def test_default_referencing_global_rejected(self):
+        src = simple(
+            "stabilize;",
+            globs="input real a = 1.0; input real b = a + 1.0;",
+        )
+        with pytest.raises(CompileError, match="closed expression"):
+            compile_program(src)
+
+
+class TestImages:
+    def _img_src(self):
+        return simple(
+            "x = F([real(i), 0.0]); stabilize;",
+            globs='image(2)[] img = load("missing.nrrd");\nfield#0(2)[] F = img ⊛ tent;',
+        )
+
+    def test_bind_image(self):
+        img = Image(np.arange(64.0).reshape(8, 8), dim=2)
+        res = run(self._img_src(), images={"img": img})
+        assert np.allclose(res.outputs["x"][1:7], np.arange(1.0, 7.0) * 8.0)
+
+    def test_missing_file_error(self):
+        prog = compile_program(self._img_src())
+        with pytest.raises(InputError, match="does not exist"):
+            prog.run()
+
+    def test_bind_wrong_type(self):
+        prog = compile_program(self._img_src())
+        with pytest.raises(InputError, match="expects image"):
+            prog.bind_image("img", Image(np.zeros((4, 4, 4)), dim=3))
+
+    def test_bind_unknown_slot(self):
+        prog = compile_program(self._img_src())
+        with pytest.raises(InputError, match="not an image global"):
+            prog.bind_image("nope", Image(np.zeros((4, 4)), dim=2))
+
+    def test_load_from_nrrd_file(self, tmp_path):
+        from repro.nrrd import write_nrrd
+
+        img = Image(np.arange(64.0).reshape(8, 8), dim=2)
+        write_nrrd(str(tmp_path / "missing.nrrd"), img)
+        prog = compile_program(self._img_src(), search_path=str(tmp_path))
+        res = prog.run()
+        assert np.allclose(res.outputs["x"][2], 16.0)
+
+    def test_nrrd_shape_mismatch(self, tmp_path):
+        from repro.nrrd import write_nrrd
+
+        write_nrrd(str(tmp_path / "missing.nrrd"), Image(np.zeros((4, 4, 4)), dim=3))
+        prog = compile_program(self._img_src(), search_path=str(tmp_path))
+        with pytest.raises(InputError, match="declared"):
+            prog.run()
+
+
+class TestPrecision:
+    def test_single_precision_outputs(self):
+        src = simple("x = 1.0 / 3.0; stabilize;")
+        res = run(src, precision="single")
+        assert res.outputs["x"].dtype == np.float32
+
+    def test_double_precision_outputs(self):
+        src = simple("x = 1.0 / 3.0; stabilize;")
+        res = run(src, precision="double")
+        assert res.outputs["x"].dtype == np.float64
+
+    def test_precisions_differ_measurably(self):
+        src = simple("x = 1.0 / 3.0; stabilize;")
+        a = run(src, precision="single").outputs["x"][0]
+        b = run(src, precision="double").outputs["x"][0]
+        assert a != b
+
+    def test_bad_precision(self):
+        with pytest.raises(CompileError, match="precision"):
+            compile_program(simple("stabilize;"), precision="half")
+
+
+class TestExecutionControls:
+    def test_max_steps(self):
+        src = simple("x += 1.0;")  # never stabilizes
+        res = run(src, max_steps=7)
+        assert res.steps == 7
+        assert np.allclose(res.outputs["x"], 7.0)
+
+    def test_block_size_does_not_change_results(self):
+        src = simple("x += real(i) + 1.0; if (x > 10.0) stabilize;")
+        a = run(src, block_size=3).outputs["x"]
+        b = run(src, block_size=4096).outputs["x"]
+        assert np.array_equal(a, b)
+
+    def test_workers_do_not_change_results(self):
+        src = simple("x += real(i) + 1.0; if (x > 10.0) stabilize;")
+        a = run(src, workers=1, block_size=2).outputs["x"]
+        b = run(src, workers=4, block_size=2).outputs["x"]
+        assert np.array_equal(a, b)
+
+    def test_run_result_stats(self):
+        src = simple("if (i < 5) die; stabilize;",
+                     init="initially { S(i) | i in 0 .. 9 };")
+        res = run(src)
+        assert res.num_strands == 10
+        assert res.num_died == 5
+        assert res.num_stable == 5
+        assert res.wall_time > 0
+
+
+class TestCli:
+    def test_cli_sets_inputs(self, capsys):
+        src = simple("x = g * 2.0; stabilize;", globs="input real g = 1.0;")
+        prog = compile_program(src)
+        res = prog.cli(["--g", "3.5"])
+        assert np.allclose(res.outputs["x"], 7.0)
+
+    def test_cli_int_input(self):
+        src = simple("x = real(n); stabilize;", globs="input int n = 1;")
+        prog = compile_program(src)
+        res = prog.cli(["--n", "9"])
+        assert np.allclose(res.outputs["x"], 9.0)
+
+
+class TestGeneratedSource:
+    def test_source_is_inspectable(self):
+        prog = compile_program(simple("stabilize;"))
+        assert "def update(" in prog.generated_source
+        assert "Generated by the Diderot compiler" in prog.generated_source
+
+    def test_deterministic_compilation(self):
+        src = simple("x = real(i); stabilize;")
+        import re
+
+        def normalize(text):
+            return re.sub(r"v\d+", "v#", text)
+
+        a = normalize(compile_program(src).generated_source)
+        b = normalize(compile_program(src).generated_source)
+        assert a == b

@@ -1,0 +1,78 @@
+"""Cross-validation against SciPy's independent B-spline implementation.
+
+``scipy.ndimage.map_coordinates(order=3, prefilter=False)`` computes the
+direct convolution of the samples with the cubic B-spline basis — exactly
+our ``bspln3`` reconstruction — from a completely separate codebase.
+Agreement here validates kernel coefficients, weight polynomials, the
+separable contraction, and the index handling all at once.
+"""
+
+import numpy as np
+import pytest
+
+scipy_ndimage = pytest.importorskip("scipy.ndimage")
+
+from repro.fields.probe import probe_convolution
+from repro.image import Image
+from repro.kernels import bspln3, tent
+
+
+class TestAgainstScipy:
+    def test_bspln3_matches_map_coordinates_2d(self, rng):
+        data = rng.standard_normal((20, 22))
+        img = Image(data, dim=2)
+        pts = rng.uniform(4.0, 15.0, (50, 2))
+        ours = probe_convolution(img, bspln3, pts)
+        theirs = scipy_ndimage.map_coordinates(
+            data, pts.T, order=3, prefilter=False
+        )
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_bspln3_matches_map_coordinates_3d(self, rng):
+        data = rng.standard_normal((12, 13, 14))
+        img = Image(data, dim=3)
+        pts = rng.uniform(3.0, 9.0, (30, 3))
+        ours = probe_convolution(img, bspln3, pts)
+        theirs = scipy_ndimage.map_coordinates(
+            data, pts.T, order=3, prefilter=False
+        )
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_tent_matches_linear_interpolation(self, rng):
+        data = rng.standard_normal((16, 16))
+        img = Image(data, dim=2)
+        pts = rng.uniform(2.0, 13.0, (40, 2))
+        ours = probe_convolution(img, tent, pts)
+        theirs = scipy_ndimage.map_coordinates(
+            data, pts.T, order=1, prefilter=False
+        )
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_prefiltered_spline_interpolates(self, rng):
+        """Composing our bspln3 probe with scipy's spline prefilter must
+        interpolate the original samples — the textbook relationship the
+        paper's §3.1 'non-interpolating' remark alludes to."""
+        data = rng.standard_normal((16, 16))
+        coeffs = scipy_ndimage.spline_filter(data, order=3)
+        img = Image(coeffs, dim=2)
+        for i in range(4, 12):
+            got = probe_convolution(img, bspln3, np.array([[float(i), float(i)]]))
+            assert float(got[0]) == pytest.approx(data[i, i], abs=1e-8)
+
+    def test_gradient_matches_scipy_derivative_of_spline(self, rng):
+        """d/dx of our bspln3 field equals scipy's spline evaluated with a
+        derivative along one axis (via finite differencing scipy, since
+        map_coordinates has no derivative mode — tight tolerance because
+        both sides are the same smooth polynomial)."""
+        data = rng.standard_normal((18, 18))
+        img = Image(data, dim=2)
+        pts = rng.uniform(4.0, 13.0, (20, 2))
+        ours = probe_convolution(img, bspln3, pts, deriv=1)
+        eps = 1e-6
+        for axis in range(2):
+            d = np.zeros(2)
+            d[axis] = eps
+            hi = scipy_ndimage.map_coordinates(data, (pts + d).T, order=3, prefilter=False)
+            lo = scipy_ndimage.map_coordinates(data, (pts - d).T, order=3, prefilter=False)
+            fd = (hi - lo) / (2 * eps)
+            assert np.allclose(ours[:, axis], fd, atol=1e-5)

@@ -1,0 +1,121 @@
+"""Tests for the compiler driver: stats, files, options, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import OptOptions, compile_file, compile_program, compile_to_source
+from repro.errors import SyntaxErrorD, TypeErrorD
+from repro.image import Image
+
+SRC = """
+image(2)[] img = load("d.nrrd");
+field#2(2)[] F = img ⊛ bspln3;
+strand S (int i) {
+    vec2 pos = [real(i), 4.0];
+    output real v = 0.0;
+    output vec2 g = [0.0, 0.0];
+    update {
+        if (inside(pos, F)) { v = F(pos); g = ∇F(pos); }
+        stabilize;
+    }
+}
+initially [ S(i) | i in 0 .. 7 ];
+"""
+
+
+class TestCompileStats:
+    def test_pipeline_counts_populated(self):
+        _, _, stats = compile_to_source(SRC)
+        for table in (stats.high_instrs, stats.mid_instrs, stats.low_instrs):
+            assert "update" in table and table["update"] > 0
+
+    def test_lowering_grows_instruction_count(self):
+        _, _, stats = compile_to_source(SRC)
+        # kernel expansion adds Horner arithmetic
+        assert stats.low_instrs["update"] > stats.mid_instrs["update"]
+
+    def test_vn_removes_shared_probe_work(self):
+        _, _, stats = compile_to_source(SRC)
+        assert stats.vn_removed["update"] > 0
+
+    def test_unoptimized_mid_larger(self):
+        _, _, opt = compile_to_source(SRC)
+        _, _, unopt = compile_to_source(
+            SRC, OptOptions(contraction=False, value_numbering=False)
+        )
+        assert unopt.mid_instrs["update"] > opt.mid_instrs["update"]
+
+
+class TestOptOptionCombinations:
+    @pytest.mark.parametrize(
+        "contraction,vn", [(True, True), (True, False), (False, True), (False, False)]
+    )
+    def test_all_combinations_run_identically(self, contraction, vn, rng):
+        img = Image(rng.standard_normal((12, 12)), dim=2)
+        prog = compile_program(
+            SRC, optimize=OptOptions(contraction=contraction, value_numbering=vn)
+        )
+        prog.bind_image("img", img)
+        res = prog.run()
+        ref_prog = compile_program(SRC)
+        ref_prog.bind_image("img", img)
+        ref = ref_prog.run()
+        assert np.allclose(res.outputs["v"], ref.outputs["v"], atol=1e-12)
+        assert np.allclose(res.outputs["g"], ref.outputs["g"], atol=1e-12)
+
+
+class TestCompileFile:
+    def test_search_path_defaults_to_file_dir(self, tmp_path, rng):
+        from repro.nrrd import write_nrrd
+
+        (tmp_path / "p.diderot").write_text(SRC, encoding="utf-8")
+        write_nrrd(str(tmp_path / "d.nrrd"), Image(rng.standard_normal((12, 12)), dim=2))
+        prog = compile_file(str(tmp_path / "p.diderot"))
+        res = prog.run()
+        assert res.num_stable == 8
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            compile_file(str(tmp_path / "nope.diderot"))
+
+
+class TestDiagnostics:
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(SyntaxErrorD) as exc:
+            compile_program("strand S (int i) {\n    update { x = ; }\n}")
+        assert "2:" in str(exc.value)
+
+    def test_type_error_carries_position(self):
+        src = SRC.replace("v = F(pos);", "v = F(1.0);")
+        with pytest.raises(TypeErrorD) as exc:
+            compile_program(src)
+        assert "probe position" in str(exc.value)
+        assert ":" in str(exc.value)
+
+
+class TestSaveOutputs:
+    def test_grid_save(self, tmp_path, rng):
+        from repro.nrrd import read_nrrd
+
+        img = Image(rng.standard_normal((12, 12)), dim=2)
+        prog = compile_program(SRC)
+        prog.bind_image("img", img)
+        res = prog.run()
+        paths = res.save(str(tmp_path / "out"))
+        assert len(paths) == 2
+        back = read_nrrd(str(tmp_path / "out-v.nrrd"))
+        assert np.allclose(back.data, res.outputs["v"])
+        vec = read_nrrd(str(tmp_path / "out-g.nrrd"))
+        assert vec.tensor_shape == (2,)
+
+    def test_collection_save(self, tmp_path, rng):
+        from repro.nrrd import read_nrrd
+
+        src = SRC.replace("initially [ S(i) | i in 0 .. 7 ];",
+                          "initially { S(i) | i in 0 .. 7 };")
+        prog = compile_program(src)
+        prog.bind_image("img", Image(rng.standard_normal((12, 12)), dim=2))
+        res = prog.run()
+        res.save(str(tmp_path / "c"))
+        back = read_nrrd(str(tmp_path / "c-g.nrrd"))
+        assert back.dim == 1 and back.tensor_shape == (2,)

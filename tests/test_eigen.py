@@ -1,0 +1,127 @@
+"""Tests for the closed-form symmetric eigensystems (ridge3d substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensors import eigen_symmetric, evals, evecs
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def sym(m):
+    m = np.asarray(m, dtype=np.float64)
+    return 0.5 * (m + np.swapaxes(m, -1, -2))
+
+
+sym3 = arrays(np.float64, (3, 3), elements=finite).map(sym)
+sym2 = arrays(np.float64, (2, 2), elements=finite).map(sym)
+
+
+class TestEigenvalues3:
+    @given(sym3)
+    @settings(max_examples=100)
+    def test_matches_numpy_descending(self, m):
+        ref = np.linalg.eigvalsh(m)[::-1]
+        got = evals(m)
+        scale = max(1.0, float(np.max(np.abs(ref))))
+        assert np.allclose(got, ref, atol=1e-8 * scale)
+
+    def test_isotropic(self):
+        assert np.allclose(evals(2.5 * np.eye(3)), 2.5)
+
+    def test_diagonal(self):
+        assert np.allclose(evals(np.diag([3.0, -1.0, 7.0])), [7.0, 3.0, -1.0])
+
+    def test_descending_order(self):
+        lam = evals(np.diag([1.0, 2.0, 3.0]))
+        assert lam[0] >= lam[1] >= lam[2]
+
+    def test_batched(self):
+        rng = np.random.default_rng(3)
+        ms = sym(rng.standard_normal((64, 3, 3)))
+        ref = np.linalg.eigvalsh(ms)[..., ::-1]
+        assert np.allclose(evals(ms), ref, atol=1e-8)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            evals(np.zeros((2, 3)))
+
+    def test_rejects_4x4(self):
+        with pytest.raises(ValueError):
+            evals(np.eye(4))
+
+
+class TestEigenvectors3:
+    @given(sym3)
+    @settings(max_examples=100)
+    def test_eigen_equation(self, m):
+        lam, v = eigen_symmetric(m)
+        scale = max(1.0, float(np.max(np.abs(lam))))
+        for i in range(3):
+            assert np.allclose(m @ v[i], lam[i] * v[i], atol=1e-6 * scale)
+
+    @given(sym3)
+    @settings(max_examples=100)
+    def test_orthonormal(self, m):
+        v = evecs(m)
+        assert np.allclose(v @ v.T, np.eye(3), atol=1e-7)
+
+    def test_repeated_eigenvalue(self):
+        # λ = (5, 5, 2): any orthonormal frame in the eigenplane works
+        m = np.diag([5.0, 5.0, 2.0])
+        lam, v = eigen_symmetric(m)
+        assert np.allclose(lam, [5, 5, 2])
+        assert np.allclose(v @ v.T, np.eye(3), atol=1e-10)
+        for i in range(3):
+            assert np.allclose(m @ v[i], lam[i] * v[i], atol=1e-10)
+
+    def test_isotropic_gives_orthonormal_frame(self):
+        v = evecs(np.eye(3))
+        assert np.allclose(v @ v.T, np.eye(3), atol=1e-12)
+
+    def test_batched_consistency(self):
+        rng = np.random.default_rng(7)
+        ms = sym(rng.standard_normal((32, 3, 3)))
+        lam, v = eigen_symmetric(ms)
+        err = np.einsum("nij,nkj->nki", ms, v) - lam[..., None] * v
+        assert np.max(np.abs(err)) < 1e-6
+
+
+class TestEigen2:
+    @given(sym2)
+    @settings(max_examples=100)
+    def test_matches_numpy(self, m):
+        ref = np.linalg.eigvalsh(m)[::-1]
+        scale = max(1.0, float(np.max(np.abs(ref))))
+        assert np.allclose(evals(m), ref, atol=1e-9 * scale)
+
+    @given(sym2)
+    @settings(max_examples=100)
+    def test_eigen_equation(self, m):
+        lam, v = eigen_symmetric(m)
+        scale = max(1.0, float(np.max(np.abs(lam))))
+        for i in range(2):
+            assert np.allclose(m @ v[i], lam[i] * v[i], atol=1e-7 * scale)
+
+    def test_identity(self):
+        lam, v = eigen_symmetric(np.eye(2))
+        assert np.allclose(lam, 1.0)
+        assert np.allclose(v @ v.T, np.eye(2))
+
+    def test_rotation_invariance(self):
+        theta = 0.7
+        c, s = np.cos(theta), np.sin(theta)
+        r = np.array([[c, -s], [s, c]])
+        m = r @ np.diag([4.0, 1.0]) @ r.T
+        assert np.allclose(evals(m), [4.0, 1.0], atol=1e-12)
+
+
+class TestAsymmetricInput:
+    def test_symmetrized_first(self):
+        """evals symmetrizes tiny probe round-off asymmetry."""
+        m = np.diag([3.0, 2.0, 1.0])
+        m[0, 1] = 1e-13  # asymmetric perturbation
+        assert np.allclose(evals(m), [3.0, 2.0, 1.0], atol=1e-10)

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end to end (tiny workloads)."""
+
+import importlib
+import os
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(module_name: str, argv: list[str], tmp_path, monkeypatch):
+    monkeypatch.syspath_prepend(EXAMPLES)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [module_name] + argv)
+    mod = importlib.import_module(module_name)
+    try:
+        mod.main()
+    finally:
+        sys.modules.pop(module_name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch):
+        run_example("quickstart", ["--res", "16", "--volume", "24"],
+                    tmp_path, monkeypatch)
+        assert (tmp_path / "vr_lite.pgm").exists()
+
+    def test_curvature_vr(self, tmp_path, monkeypatch):
+        run_example("curvature_vr", ["--res", "12", "--volume", "24"],
+                    tmp_path, monkeypatch)
+        assert (tmp_path / "curvature_vr.ppm").exists()
+        assert (tmp_path / "curvature_cmap.ppm").exists()
+
+    def test_lic2d(self, tmp_path, monkeypatch):
+        run_example("lic2d", ["--res", "24", "--steps", "5", "--field", "32"],
+                    tmp_path, monkeypatch)
+        assert (tmp_path / "lic.pgm").exists()
+
+    def test_isocontours(self, tmp_path, monkeypatch):
+        run_example("isocontours", ["--size", "40"], tmp_path, monkeypatch)
+        assert (tmp_path / "isocontours.pgm").exists()
+
+    def test_ridge_particles(self, tmp_path, monkeypatch):
+        run_example("ridge_particles", ["--grid", "6", "--volume", "32"],
+                    tmp_path, monkeypatch)
+        # output file written only when particles converge; stats printed always
+
+    def test_vector_field_ops(self, tmp_path, monkeypatch):
+        run_example("vector_field_ops", [], tmp_path, monkeypatch)
+
+    def test_fields_api(self, tmp_path, monkeypatch):
+        run_example("fields_api", [], tmp_path, monkeypatch)
+
+    def test_make_data(self, tmp_path, monkeypatch):
+        monkeypatch.syspath_prepend(EXAMPLES)
+        mod = importlib.import_module("make_data")
+        monkeypatch.setattr(mod, "HERE", str(tmp_path))
+        mod.main()
+        assert (tmp_path / "hand.nrrd").exists()
+        assert (tmp_path / "xfer.nrrd").exists()
+        sys.modules.pop("make_data", None)

@@ -1,0 +1,130 @@
+"""End-to-end tests for the §8.3 extensions (divergence, curl, bspln5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import compile_program
+from repro.data import vector_field_2d
+from repro.fields import convolve
+from repro.image import Image
+from repro.kernels import bspln5, ctmr
+
+
+class TestDivCurl2D:
+    SRC = """
+        field#1(2)[2] V = load("vectors.nrrd") ⊛ ctmr;
+        field#0(2)[] D = ∇•V;
+        field#0(2)[] C = ∇×V;
+        strand S (int i) {
+            vec2 p = [real(i)*0.15 - 0.6, 0.1];
+            output real div = 0.0;
+            output real curl = 0.0;
+            update {
+                if (inside(p, V)) { div = D(p); curl = C(p); }
+                stabilize;
+            }
+        }
+        initially [ S(i) | i in 0 .. 8 ];
+    """
+
+    def test_against_analytic(self):
+        prog = compile_program(self.SRC)
+        prog.bind_image("vectors", vector_field_2d(64, vortex=0.8, saddle=0.2))
+        res = prog.run()
+        assert np.allclose(res.outputs["curl"], 1.6, atol=1e-8)
+        assert np.allclose(res.outputs["div"], 0.0, atol=1e-8)
+
+    def test_against_field_objects(self):
+        vf = vector_field_2d(48)
+        prog = compile_program(self.SRC)
+        prog.bind_image("vectors", vf)
+        res = prog.run()
+        V = convolve(vf, ctmr)
+        for i in range(9):
+            p = np.array([i * 0.15 - 0.6, 0.1])
+            assert float(res.outputs["div"][i]) == pytest.approx(
+                float(V.divergence(p[None])[0]), abs=1e-12
+            )
+            assert float(res.outputs["curl"][i]) == pytest.approx(
+                float(V.curl(p[None])[0]), abs=1e-12
+            )
+
+
+class TestCurl3D:
+    SRC = """
+        field#1(3)[3] W = load("w.nrrd") ⊛ ctmr;
+        strand S (int i) {
+            vec3 p = [real(i)*0.5 + 3.0, 5.0, 5.0];
+            output vec3 c = [0.0, 0.0, 0.0];
+            update {
+                if (inside(p, W)) c = (∇×W)(p);
+                stabilize;
+            }
+        }
+        initially [ S(i) | i in 0 .. 5 ];
+    """
+
+    def test_rotational_field(self):
+        xs, ys, zs = np.meshgrid(*[np.arange(12.0)] * 3, indexing="ij")
+        data = np.stack([-ys, xs, np.zeros_like(xs)], axis=-1)
+        img = Image(data, dim=3, tensor_shape=(3,))
+        prog = compile_program(self.SRC)
+        prog.bind_image("w", img)
+        res = prog.run()
+        assert np.allclose(res.outputs["c"], [0.0, 0.0, 2.0], atol=1e-9)
+
+
+class TestBspln5:
+    def test_usable_in_programs(self):
+        src = """
+            image(2)[] img = load("d.nrrd");
+            field#4(2)[] F = img ⊛ bspln5;
+            field#1(2)[2,2,2] T = ∇⊗∇⊗∇F;
+            strand S (int i) {
+                vec2 p = [real(i) + 4.0, 8.0];
+                output real v = 0.0;
+                output real t = 0.0;
+                update {
+                    if (inside(p, F)) {
+                        v = F(p);
+                        t = T(p)[0, 1, 1];
+                    }
+                    stabilize;
+                }
+            }
+            initially [ S(i) | i in 0 .. 5 ];
+        """
+        rng = np.random.default_rng(5)
+        img = Image(rng.standard_normal((20, 20)), dim=2)
+        prog = compile_program(src)
+        prog.bind_image("img", img)
+        res = prog.run()
+        F = convolve(img, bspln5)
+        third = F.grad().grad().grad()
+        for i in range(6):
+            p = np.array([[i + 4.0, 8.0]])
+            assert float(res.outputs["v"][i]) == pytest.approx(
+                float(F.probe(p)[0]), abs=1e-12
+            )
+            assert float(res.outputs["t"][i]) == pytest.approx(
+                float(third.probe(p)[0][0, 1, 1]), abs=1e-10
+            )
+
+    def test_third_derivative_continuity_typing(self):
+        """field#4 ⊛ three ∇s leaves field#1 — Figure 2 bookkeeping."""
+        from repro.core.syntax import parse_program
+        from repro.core.ty import check_program
+        from repro.errors import TypeErrorD
+
+        bad = """
+            image(2)[] img = load("d.nrrd");
+            field#2(2)[] F = img ⊛ bspln3;
+            field#0(2)[2,2,2] T = ∇⊗∇⊗∇F;
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 3 ];
+        """
+        with pytest.raises(TypeErrorD, match="cannot differentiate"):
+            check_program(parse_program(bad))

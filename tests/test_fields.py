@@ -1,0 +1,142 @@
+"""Tests for first-class field objects and the Figure 10 algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DiderotError
+from repro.fields import ConvField, ScaledField, SumField, convolve
+from repro.image import Image
+from repro.kernels import bspln3, ctmr, tent
+
+
+@pytest.fixture
+def img2(rng):
+    return Image(rng.standard_normal((16, 16)), dim=2)
+
+
+@pytest.fixture
+def img2b(rng):
+    return Image(rng.standard_normal((16, 16)), dim=2)
+
+
+@pytest.fixture
+def vecimg(rng):
+    return Image(rng.standard_normal((16, 16, 2)), dim=2, tensor_shape=(2,))
+
+
+P = np.array([[7.3, 8.1]])
+
+
+class TestConvField:
+    def test_type_attributes(self, img2):
+        f = convolve(img2, bspln3)
+        assert f.dim == 2 and f.shape == () and f.continuity == 2
+
+    def test_grad_types(self, img2):
+        g = convolve(img2, bspln3).grad()
+        assert g.shape == (2,) and g.continuity == 1
+        h = g.grad()
+        assert h.shape == (2, 2) and h.continuity == 0
+
+    def test_grad_beyond_continuity_rejected(self, img2):
+        f = convolve(img2, tent)  # C0
+        with pytest.raises(DiderotError, match="differentiate"):
+            f.grad()
+
+    def test_probe_call_sugar(self, img2):
+        f = convolve(img2, bspln3)
+        assert np.allclose(f(P), f.probe(P))
+
+    def test_repr_shows_derivative_level(self, img2):
+        assert "∇∇" in repr(convolve(img2, bspln3).grad().grad())
+
+
+class TestAlgebra:
+    def test_sum_probe(self, img2, img2b):
+        f = convolve(img2, bspln3)
+        g = convolve(img2b, bspln3)
+        assert np.allclose((f + g).probe(P), f.probe(P) + g.probe(P))
+
+    def test_difference_probe(self, img2, img2b):
+        f = convolve(img2, bspln3)
+        g = convolve(img2b, bspln3)
+        assert np.allclose((f - g).probe(P), f.probe(P) - g.probe(P))
+
+    def test_scale_probe(self, img2):
+        f = convolve(img2, bspln3)
+        assert np.allclose((2.5 * f).probe(P), 2.5 * f.probe(P))
+        assert np.allclose((f * 2.5).probe(P), 2.5 * f.probe(P))
+        assert np.allclose((f / 2.0).probe(P), f.probe(P) / 2.0)
+        assert np.allclose((-f).probe(P), -f.probe(P))
+
+    def test_nested_scale_collapses(self, img2):
+        f = convolve(img2, bspln3)
+        h = (2.0 * f).scaled(3.0)
+        assert isinstance(h, ScaledField)
+        assert h.scalar == 6.0
+        assert isinstance(h.inner, ConvField)
+
+    def test_grad_distributes_over_sum(self, img2, img2b):
+        f = convolve(img2, bspln3)
+        g = convolve(img2b, bspln3)
+        lhs = (f + g).grad().probe(P)
+        rhs = f.grad().probe(P) + g.grad().probe(P)
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_grad_commutes_with_scale(self, img2):
+        f = convolve(img2, bspln3)
+        assert np.allclose(
+            (3.0 * f).grad().probe(P), 3.0 * f.grad().probe(P), atol=1e-12
+        )
+
+    def test_sum_continuity_is_min(self, img2, img2b):
+        f = convolve(img2, bspln3)  # C2
+        g = convolve(img2b, ctmr)  # C1
+        assert (f + g).continuity == 1
+
+    def test_sum_shape_mismatch_rejected(self, img2, vecimg):
+        with pytest.raises(DiderotError, match="cannot add"):
+            SumField(convolve(img2, bspln3), convolve(vecimg, bspln3))
+
+    def test_sum_inside_is_conjunction(self, img2, img2b):
+        f = convolve(img2, bspln3)  # support 2
+        g = convolve(img2b, tent)  # support 1
+        s = f + g
+        edge = np.array([0.5, 5.0])  # inside tent's domain, outside bspln3's
+        assert g.inside(edge)
+        assert not f.inside(edge)
+        assert not s.inside(edge)
+
+
+class TestVectorFields:
+    def test_divergence_of_linear_field(self):
+        xs, ys = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        data = np.stack([2 * xs, 5 * ys], axis=-1)
+        v = convolve(Image(data, dim=2, tensor_shape=(2,)), ctmr)
+        assert float(v.divergence(P)[0]) == pytest.approx(7.0, abs=1e-10)
+
+    def test_curl_2d_of_rotational_field(self):
+        xs, ys = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        data = np.stack([-ys, xs], axis=-1)
+        v = convolve(Image(data, dim=2, tensor_shape=(2,)), ctmr)
+        assert float(v.curl(P)[0]) == pytest.approx(2.0, abs=1e-10)
+
+    def test_curl_3d(self, rng):
+        xs, ys, zs = np.meshgrid(*[np.arange(12.0)] * 3, indexing="ij")
+        data = np.stack([-ys, xs, np.zeros_like(xs)], axis=-1)
+        v = convolve(Image(data, dim=3, tensor_shape=(3,)), ctmr)
+        got = v.curl(np.array([[5.3, 5.7, 6.1]]))[0]
+        assert np.allclose(got, [0.0, 0.0, 2.0], atol=1e-10)
+
+    def test_divergence_requires_vector_field(self, img2):
+        with pytest.raises(DiderotError, match="vector field"):
+            convolve(img2, bspln3).divergence(P)
+
+    def test_curl_requires_vector_field(self, img2):
+        with pytest.raises(DiderotError, match="vector field"):
+            convolve(img2, bspln3).curl(P)
+
+    def test_divergence_is_trace_of_jacobian(self, vecimg):
+        v = convolve(vecimg, ctmr)
+        jac = v.grad().probe(P)
+        assert np.allclose(v.divergence(P), np.trace(jac[0]), atol=1e-12)

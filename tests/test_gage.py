@@ -1,0 +1,209 @@
+"""Tests for the Teem/gage-style baseline probing library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GageError
+from repro.fields import convolve
+from repro.gage import Context
+from repro.gage.items import ITEMS, dependency_closure, item_names, resolve_shape
+from repro.image import Image
+from repro.kernels import bspln3, ctmr, tent
+
+
+@pytest.fixture
+def scal3(rng):
+    return Image(rng.standard_normal((12, 13, 14)), dim=3)
+
+
+@pytest.fixture
+def vec2(rng):
+    return Image(rng.standard_normal((12, 12, 2)), dim=2, tensor_shape=(2,))
+
+
+def scalar_ctx(img, *items):
+    ctx = Context(img)
+    ctx.kernel_set(0, bspln3)
+    ctx.kernel_set(1, bspln3.derivative())
+    ctx.kernel_set(2, bspln3.derivative(2))
+    for it in items:
+        ctx.query_on(it)
+    ctx.update()
+    return ctx
+
+
+class TestItemTable:
+    def test_item_names_by_kind(self):
+        assert "gradient" in item_names("scalar")
+        assert "jacobian" in item_names("vector")
+        assert "gradient" not in item_names("vector")
+
+    def test_dependency_closure_ordering(self):
+        order = dependency_closure(["normal"])
+        assert order.index("gradient") < order.index("normal")
+        assert order.index("gradmag") < order.index("normal")
+
+    def test_closure_unknown_item(self):
+        with pytest.raises(KeyError, match="unknown gage item"):
+            dependency_closure(["bogus"])
+
+    def test_resolve_shape_dims(self):
+        assert resolve_shape(ITEMS["gradient"], 3) == (3,)
+        assert resolve_shape(ITEMS["hessian"], 2) == (2, 2)
+        assert resolve_shape(ITEMS["curl"], 3) == (3,)
+        assert resolve_shape(ITEMS["curl"], 2) == ()
+
+
+class TestWorkflowErrors:
+    def test_probe_before_update(self, scal3):
+        ctx = Context(scal3)
+        ctx.kernel_set(0, bspln3)
+        ctx.query_on("value")
+        with pytest.raises(GageError, match="update"):
+            ctx.probe(np.zeros(3))
+
+    def test_update_without_query(self, scal3):
+        ctx = Context(scal3)
+        ctx.kernel_set(0, bspln3)
+        with pytest.raises(GageError, match="no query items"):
+            ctx.update()
+
+    def test_update_missing_kernel_slot(self, scal3):
+        ctx = Context(scal3)
+        ctx.kernel_set(0, bspln3)
+        ctx.query_on("gradient")
+        with pytest.raises(GageError, match="slot 1"):
+            ctx.update()
+
+    def test_mixed_kernel_families_rejected(self, scal3):
+        ctx = Context(scal3)
+        ctx.kernel_set(0, bspln3)
+        ctx.kernel_set(1, ctmr.derivative())  # not bspln3'
+        ctx.query_on("gradient")
+        with pytest.raises(GageError, match="not the 1-th derivative"):
+            ctx.update()
+
+    def test_wrong_kind_item(self, scal3):
+        ctx = Context(scal3)
+        with pytest.raises(GageError, match="vector images"):
+            ctx.query_on("jacobian")
+
+    def test_unknown_item(self, scal3):
+        ctx = Context(scal3)
+        with pytest.raises(GageError, match="unknown"):
+            ctx.query_on("bogus")
+
+    def test_bad_kernel_level(self, scal3):
+        ctx = Context(scal3)
+        with pytest.raises(GageError, match="level"):
+            ctx.kernel_set(3, bspln3)
+
+    def test_answer_not_in_query(self, scal3):
+        ctx = scalar_ctx(scal3, "value")
+        with pytest.raises(GageError, match="not part"):
+            ctx.answer("gradient")
+
+    def test_query_off(self, scal3):
+        ctx = Context(scal3)
+        ctx.kernel_set(0, bspln3)
+        ctx.query_on("value")
+        ctx.query_off("value")
+        with pytest.raises(GageError, match="no query items"):
+            ctx.update()
+
+
+class TestScalarAnswers:
+    def test_value_and_gradient_match_fields(self, scal3):
+        ctx = scalar_ctx(scal3, "value", "gradient", "gradmag", "normal")
+        f = convolve(scal3, bspln3)
+        pos = np.array([5.3, 6.1, 7.7])
+        assert ctx.probe(pos)
+        assert float(ctx.answer("value")) == pytest.approx(float(f.probe(pos)))
+        g_ref = f.grad().probe(pos)
+        assert np.allclose(ctx.answer("gradient"), g_ref)
+        assert float(ctx.answer("gradmag")) == pytest.approx(float(np.linalg.norm(g_ref)))
+        assert np.allclose(ctx.answer("normal"), g_ref / np.linalg.norm(g_ref))
+
+    def test_hessian_items(self, scal3):
+        ctx = scalar_ctx(scal3, "hessian", "laplacian", "hesseval", "hessevec")
+        pos = np.array([5.0, 6.0, 7.0])
+        assert ctx.probe(pos)
+        h = ctx.answer("hessian")
+        assert np.allclose(h, h.T, atol=1e-12)
+        assert float(ctx.answer("laplacian")) == pytest.approx(float(np.trace(h)))
+        lam = ctx.answer("hesseval")
+        vec = ctx.answer("hessevec")
+        for i in range(3):
+            assert np.allclose(h @ vec[i], lam[i] * vec[i], atol=1e-8)
+
+    def test_2nd_directional_derivative(self, scal3):
+        ctx = scalar_ctx(scal3, "2ndDD")
+        pos = np.array([5.0, 6.0, 7.0])
+        assert ctx.probe(pos)
+        n = ctx.answer("normal")
+        h = ctx.answer("hessian")
+        assert float(ctx.answer("2ndDD")) == pytest.approx(float(n @ h @ n))
+
+    def test_probe_outside_returns_false(self, scal3):
+        ctx = scalar_ctx(scal3, "value")
+        assert not ctx.probe(np.array([-5.0, 0.0, 0.0]))
+
+    def test_outside_leaves_buffer(self, scal3):
+        ctx = scalar_ctx(scal3, "value")
+        assert ctx.probe(np.array([5.0, 6.0, 7.0]))
+        before = float(ctx.answer("value"))
+        assert not ctx.probe(np.array([100.0, 0.0, 0.0]))
+        assert float(ctx.answer("value")) == before
+
+    def test_buffers_reused_between_probes(self, scal3):
+        ctx = scalar_ctx(scal3, "value")
+        buf = ctx.answer("value")
+        ctx.probe(np.array([5.0, 6.0, 7.0]))
+        first = float(buf)
+        ctx.probe(np.array([6.0, 6.0, 7.0]))
+        assert float(buf) != first  # same buffer, new contents
+
+
+class TestVectorAnswers:
+    def _ctx(self, img, *items):
+        ctx = Context(img)
+        ctx.kernel_set(0, ctmr)
+        ctx.kernel_set(1, ctmr.derivative())
+        for it in items:
+            ctx.query_on(it)
+        ctx.update()
+        return ctx
+
+    def test_vector_and_length(self, vec2):
+        ctx = self._ctx(vec2, "vector", "vectorlen")
+        pos = np.array([5.5, 6.5])
+        assert ctx.probe(pos)
+        v = ctx.answer("vector")
+        ref = convolve(vec2, ctmr).probe(pos)
+        assert np.allclose(v, ref)
+        assert float(ctx.answer("vectorlen")) == pytest.approx(float(np.linalg.norm(v)))
+
+    def test_jacobian_divergence_curl(self, vec2):
+        ctx = self._ctx(vec2, "jacobian", "divergence", "curl")
+        pos = np.array([5.5, 6.5])
+        assert ctx.probe(pos)
+        j = ctx.answer("jacobian")
+        assert float(ctx.answer("divergence")) == pytest.approx(float(np.trace(j)))
+        assert float(ctx.answer("curl")) == pytest.approx(float(j[1, 0] - j[0, 1]))
+
+
+class TestGenericKind:
+    def test_rgb_lookup(self, rng):
+        img = Image(rng.uniform(0, 1, (9, 9, 3)), dim=2, tensor_shape=(3,))
+        ctx = Context(img)
+        ctx.kernel_set(0, tent)
+        ctx.query_on("value")
+        ctx.update()
+        assert ctx.probe(np.array([4.0, 4.0]))
+        assert np.allclose(ctx.answer("value"), img.data[4, 4])
+
+    def test_generic_rejects_other_items(self, rng):
+        img = Image(rng.uniform(0, 1, (9, 9, 3)), dim=2, tensor_shape=(3,))
+        ctx = Context(img)
+        with pytest.raises(GageError, match="only the 'value' item"):
+            ctx.query_on("gradient")

@@ -1,0 +1,123 @@
+"""Tests for oriented images (the M / M⁻ᵀ machinery of paper §5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.image import Image, Orientation
+
+
+def _invertible(m):
+    return abs(np.linalg.det(m)) > 1e-3
+
+
+orient3 = st.builds(
+    Orientation,
+    arrays(np.float64, (3, 3),
+           elements=st.floats(min_value=-3, max_value=3, allow_nan=False)).filter(_invertible),
+    arrays(np.float64, (3,),
+           elements=st.floats(min_value=-10, max_value=10, allow_nan=False)),
+)
+
+
+class TestOrientation:
+    def test_axis_aligned(self):
+        o = Orientation.axis_aligned(3, spacing=2.0, origin=[1, 2, 3])
+        assert np.allclose(o.to_world([[0, 0, 0]]), [[1, 2, 3]])
+        assert np.allclose(o.to_world([[1, 1, 1]]), [[3, 4, 5]])
+
+    def test_per_axis_spacing(self):
+        o = Orientation.axis_aligned(2, spacing=[0.5, 2.0])
+        assert np.allclose(o.to_world([[2, 2]]), [[1.0, 4.0]])
+
+    @given(orient3)
+    @settings(max_examples=50)
+    def test_world_index_roundtrip(self, o):
+        pts = np.array([[0.0, 0.0, 0.0], [1.5, -2.0, 3.0], [10.0, 0.1, -4.0]])
+        back = o.to_index(o.to_world(pts))
+        assert np.allclose(back, pts, atol=1e-6)
+
+    @given(orient3)
+    @settings(max_examples=50)
+    def test_gradient_transform_is_inverse_transpose(self, o):
+        g = o.gradient_transform
+        assert np.allclose(g, np.linalg.inv(o.world_jacobian).T, atol=1e-9)
+
+    def test_non_axis_aligned_detection(self):
+        sheared = Orientation(np.array([[1.0, 0.1], [0.0, 1.0]]), np.zeros(2))
+        assert not sheared.is_axis_aligned()
+        assert Orientation.axis_aligned(2).is_axis_aligned()
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError, match="singular"):
+            Orientation(np.zeros((2, 2)), np.zeros(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Orientation(np.eye(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            Orientation(np.zeros((2, 3)), np.zeros(2))
+
+    def test_equality(self):
+        a = Orientation.axis_aligned(2, 1.0)
+        b = Orientation.axis_aligned(2, 1.0)
+        c = Orientation.axis_aligned(2, 2.0)
+        assert a == b and a != c
+
+    def test_chirality_preserved(self):
+        """World jacobian columns are the axis direction vectors."""
+        dirs = np.array([[0.0, 1.0], [1.0, 0.0]])  # swapped axes
+        o = Orientation(dirs, np.zeros(2))
+        assert np.allclose(o.to_world([[1.0, 0.0]]), [[0.0, 1.0]])
+
+
+class TestImage:
+    def test_scalar_inference(self):
+        img = Image(np.zeros((4, 5, 6)))
+        assert img.dim == 3 and img.tensor_shape == () and img.sizes == (4, 5, 6)
+
+    def test_vector_image(self):
+        img = Image(np.zeros((4, 5, 2)), dim=2, tensor_shape=(2,))
+        assert img.sizes == (4, 5)
+        assert img.tensor_order == 1
+
+    def test_infer_tensor_shape_from_dim(self):
+        img = Image(np.zeros((4, 5, 3)), dim=2)
+        assert img.tensor_shape == (3,)
+
+    def test_dtype_conversion(self):
+        img = Image(np.zeros((3, 3), dtype=np.int16))
+        assert img.data.dtype == np.float64
+        assert img.astype(np.float32).data.dtype == np.float32
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((2, 2, 2, 2)), dim=4)
+
+    def test_rejects_axis_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 5)), dim=2, tensor_shape=(3,))
+
+    def test_rejects_tensor_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 5, 2)), dim=2, tensor_shape=(3,))
+
+    def test_rejects_orientation_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 4)), orientation=Orientation.axis_aligned(3))
+
+    def test_index_bounds(self):
+        img = Image(np.zeros((10, 20)))
+        lo, hi = img.index_bounds(support=2)
+        assert list(lo) == [1, 1]
+        assert list(hi) == [7, 17]
+
+    def test_index_bounds_tent(self):
+        img = Image(np.zeros(8), dim=1)
+        lo, hi = img.index_bounds(support=1)
+        assert list(lo) == [0] and list(hi) == [6]
+
+    def test_repr(self):
+        assert "dim=2" in repr(Image(np.zeros((3, 4))))

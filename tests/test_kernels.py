@@ -1,0 +1,172 @@
+"""Tests for the built-in convolution kernels (paper §2, §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import Kernel, bspln3, bspln5, ctmr, kernel_by_name, tent
+from repro.kernels.library import bspline
+from repro.kernels.piecewise import Polynomial
+
+ALL_KERNELS = [tent, ctmr, bspln3, bspln5]
+
+unit_fracs = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestLibrary:
+    def test_supports(self):
+        assert tent.support == 1
+        assert ctmr.support == 2
+        assert bspln3.support == 2
+        assert bspln5.support == 3
+
+    def test_continuities(self):
+        assert tent.continuity == 0
+        assert ctmr.continuity == 1
+        assert bspln3.continuity == 2
+        assert bspln5.continuity == 4
+
+    def test_lookup_by_name(self):
+        assert kernel_by_name("ctmr") is ctmr
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="built-ins"):
+            kernel_by_name("gaussian")
+
+    def test_interpolating(self):
+        # tent and ctmr interpolate; B-splines do not (paper §3.1)
+        assert tent.is_interpolating()
+        assert ctmr.is_interpolating()
+        assert not bspln3.is_interpolating()
+        assert not bspln5.is_interpolating()
+
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    def test_partition_of_unity(self, kern):
+        assert kern.partition_of_unity_error() < 1e-12
+
+    def test_bspline_construction_matches_handwritten(self):
+        for built, hand in [(bspline(1), tent), (bspline(3), bspln3)]:
+            for p, q in zip(built.pieces, hand.pieces):
+                assert np.allclose(p.coeffs, q.coeffs)
+
+    def test_bspline_rejects_even_degree(self):
+        with pytest.raises(ValueError):
+            bspline(2)
+
+    def test_bspline_nonnegative(self):
+        xs = np.linspace(-3, 3, 601)
+        assert np.all(bspln5(xs) >= -1e-12)
+
+    def test_bspline_integral_is_one(self):
+        xs = np.linspace(-3, 3, 60001)
+        assert np.trapezoid(bspln5(xs), xs) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    def test_zero_outside_support(self, kern):
+        s = kern.support
+        assert kern(float(s)) == 0.0
+        assert kern(float(-s) - 0.5) == 0.0
+        assert kern(float(s) + 3.0) == 0.0
+
+    def test_tent_shape(self):
+        assert tent(0.0) == 1.0
+        assert tent(0.5) == 0.5
+        assert tent(-0.5) == 0.5
+
+    def test_ctmr_known_values(self):
+        assert float(ctmr(0.0)) == pytest.approx(1.0)
+        assert float(ctmr(1.0)) == pytest.approx(0.0)
+        assert float(ctmr(0.5)) == pytest.approx(1 - 2.5 * 0.25 + 1.5 * 0.125)
+
+    def test_bspln3_known_values(self):
+        assert float(bspln3(0.0)) == pytest.approx(2.0 / 3.0)
+        assert float(bspln3(1.0)) == pytest.approx(1.0 / 6.0)
+        assert float(bspln3(2.0)) == 0.0
+
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    def test_even_symmetry(self, kern):
+        xs = np.linspace(0.01, kern.support - 0.01, 37)
+        assert np.allclose(kern(xs), kern(-xs), atol=1e-12)
+
+
+class TestContinuity:
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    def test_continuous_across_knots(self, kern):
+        """A kernel#k and its first k derivatives match at every knot."""
+        eps = 1e-7
+        for level in range(kern.continuity + 1):
+            dk = kern.derivative(level)
+            for knot in range(-kern.support + 1, kern.support):
+                left = float(dk(knot - eps))
+                right = float(dk(knot + eps))
+                assert left == pytest.approx(right, abs=1e-4), (
+                    f"{kern.name} deriv {level} jumps at {knot}"
+                )
+
+    def test_derivative_decrements_continuity(self):
+        assert bspln3.derivative().continuity == 1
+        assert bspln3.derivative(3).continuity == -1
+
+    def test_derivative_cached(self):
+        assert bspln3.derivative() is bspln3.derivative()
+        assert bspln3.derivative(2) is bspln3.derivative().derivative()
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("kern", [ctmr, bspln3, bspln5], ids=lambda k: k.name)
+    @given(x=st.floats(min_value=-1.9, max_value=1.9, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_derivative_matches_finite_difference(self, kern, x):
+        h = 1e-6
+        fd = (float(kern(x + h)) - float(kern(x - h))) / (2 * h)
+        assert float(kern.derivative()(x)) == pytest.approx(fd, abs=1e-4)
+
+    def test_derivative_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            bspln3.derivative(-1)
+
+    def test_derivative_of_even_is_odd(self):
+        d = bspln3.derivative()
+        xs = np.linspace(0.05, 1.95, 20)
+        assert np.allclose(d(xs), -d(-xs), atol=1e-12)
+
+
+class TestWeights:
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    @given(f=unit_fracs)
+    @settings(max_examples=30, deadline=None)
+    def test_weight_polynomials_match_direct_evaluation(self, kern, f):
+        ws = kern.weights(np.array([f]))[0]
+        for w, i in zip(ws, kern.offsets()):
+            assert w == pytest.approx(float(kern(f - i)), abs=1e-12)
+
+    @pytest.mark.parametrize("kern", ALL_KERNELS, ids=lambda k: k.name)
+    def test_offsets_cover_support(self, kern):
+        offs = list(kern.offsets())
+        assert offs[0] == 1 - kern.support
+        assert offs[-1] == kern.support
+        assert len(offs) == 2 * kern.support
+
+    @given(f=unit_fracs)
+    @settings(max_examples=30)
+    def test_derivative_weights_sum_to_zero(self, f):
+        """∂/∂x of the partition of unity: derivative weights sum to 0."""
+        ws = bspln3.derivative().weights(np.array([f]))[0]
+        assert float(np.sum(ws)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_weights_shape_batched(self):
+        f = np.random.default_rng(0).uniform(0, 1, (5, 7))
+        assert bspln3.weights(f).shape == (5, 7, 4)
+
+
+class TestValidation:
+    def test_bad_piece_count(self):
+        with pytest.raises(ValueError, match="pieces"):
+            Kernel("bad", 2, 0, [Polynomial.of([1.0])])
+
+    def test_bad_support(self):
+        with pytest.raises(ValueError, match="support"):
+            Kernel("bad", 0, 0, [])

@@ -1,0 +1,127 @@
+"""Tests for the Diderot lexer."""
+
+import pytest
+
+from repro.core.syntax.lexer import tokenize
+from repro.core.syntax.tokens import T
+from repro.errors import SyntaxErrorD
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is T.EOF
+
+    def test_identifiers_and_keywords_are_ids(self):
+        assert kinds("strand foo _bar x2") == [T.ID] * 4
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] { } , ; # |") == [
+            T.LPAREN, T.RPAREN, T.LBRACKET, T.RBRACKET, T.LBRACE, T.RBRACE,
+            T.COMMA, T.SEMI, T.HASH, T.BAR,
+        ]
+
+    def test_operators(self):
+        assert kinds("+ - * / % ^ = < >") == [
+            T.PLUS, T.MINUS, T.TIMES, T.DIV, T.MOD, T.CARET, T.ASSIGN, T.LT, T.GT,
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && || += -= *= /= ..") == [
+            T.EQEQ, T.NEQ, T.LEQ, T.GEQ, T.ANDAND, T.OROR,
+            T.PLUS_EQ, T.MINUS_EQ, T.TIMES_EQ, T.DIV_EQ, T.DOTDOT,
+        ]
+
+
+class TestUnicode:
+    def test_math_operators(self):
+        assert kinds("⊛ • × ⊗ ∇") == [
+            T.CONVOLVE, T.DOT_OP, T.CROSS_OP, T.OUTER_OP, T.NABLA,
+        ]
+
+    def test_ascii_convolve_alias(self):
+        assert kinds("img @ bspln3") == [T.ID, T.CONVOLVE, T.ID]
+
+    def test_nabla_keyword_alias(self):
+        assert kinds("nabla F") == [T.NABLA, T.ID]
+
+    def test_pi(self):
+        toks = tokenize("π")
+        assert toks[0].kind is T.ID and toks[0].text == "pi"
+
+
+class TestNumbers:
+    def test_int(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is T.INT and tok.value == 42
+
+    def test_real(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is T.REAL and tok.value == 3.25
+
+    def test_scientific(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+        assert tokenize("1E+2")[0].value == 100.0
+
+    def test_leading_dot(self):
+        tok = tokenize(".5")[0]
+        assert tok.kind is T.REAL and tok.value == 0.5
+
+    def test_range_not_a_real(self):
+        """``0 .. 9`` and ``0..9`` both lex as INT DOTDOT INT."""
+        for src in ("0 .. 9", "0..9"):
+            assert kinds(src) == [T.INT, T.DOTDOT, T.INT]
+
+
+class TestStrings:
+    def test_simple(self):
+        tok = tokenize('"hand.nrrd"')[0]
+        assert tok.kind is T.STRING and tok.value == "hand.nrrd"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\"c"')[0].value == 'a\nb"c'
+
+    def test_unterminated(self):
+        with pytest.raises(SyntaxErrorD, match="unterminated string"):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(SyntaxErrorD, match="unterminated string"):
+            tokenize('"line\nbreak"')
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("x // comment\ny") == [T.ID, T.ID]
+
+    def test_block_comment(self):
+        assert kinds("x /* multi\nline */ y") == [T.ID, T.ID]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SyntaxErrorD, match="unterminated block"):
+            tokenize("/* never ends")
+
+
+class TestSpans:
+    def test_line_and_column(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].span.line, toks[0].span.col) == (1, 1)
+        assert (toks[1].span.line, toks[1].span.col) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(SyntaxErrorD) as exc:
+            tokenize("x\n  $")
+        assert "2:3" in str(exc.value)
+
+    def test_stray_character(self):
+        with pytest.raises(SyntaxErrorD, match="unexpected character"):
+            tokenize("a ~ b")

@@ -1,0 +1,112 @@
+"""Tests for the LOC counter (Table 1 tooling) and the PGM/PPM writers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.loc import count_diderot, count_python
+from repro.data.ppm import read_pgm, save_pgm, save_ppm
+
+
+class TestDiderotLoc:
+    SRC = """\
+// a comment line
+input real a = 1.0;
+
+strand S (int i) {
+    output real x = 0.0;  // trailing comment
+    update {
+        x = a;       // counted
+        // not counted
+        stabilize;
+    }
+}
+initially [ S(i) | i in 0 .. 3 ];
+"""
+
+    def test_total_excludes_blanks_and_comments(self):
+        total, core = count_diderot(self.SRC)
+        assert total == 9
+
+    def test_core_is_update_body(self):
+        _, core = count_diderot(self.SRC)
+        assert core == 2  # "x = a;" and "stabilize;"
+
+    def test_nested_braces_in_update(self):
+        src = self.SRC.replace(
+            "x = a;       // counted",
+            "if (true) { x = a; }",
+        )
+        _, core = count_diderot(src)
+        assert core == 2
+
+
+class TestPythonLoc:
+    SRC = '''\
+"""Module docstring
+spanning lines."""
+
+import numpy as np
+
+
+def f(x):
+    """Docstring."""
+    # comment
+    y = x + 1
+    # BEGIN CORE
+    z = y * 2
+    w = z - 1
+    # END CORE
+    return w
+'''
+
+    def test_counts(self):
+        total, core = count_python(self.SRC)
+        assert core == 2
+        assert total == 6  # import, def, y=, z=, w=, return
+
+    def test_markers_excluded(self):
+        total, core = count_python(self.SRC)
+        assert core < total
+
+
+class TestPpm:
+    def test_pgm_roundtrip(self, tmp_path):
+        img = np.linspace(0, 1, 12).reshape(3, 4)
+        path = str(tmp_path / "t.pgm")
+        save_pgm(path, img, vmin=0.0, vmax=1.0)
+        back = read_pgm(path)
+        assert back.shape == (3, 4)
+        assert back[0, 0] == 0 and back[2, 3] == 255
+
+    def test_pgm_normalizes_by_default(self, tmp_path):
+        img = np.array([[5.0, 10.0]])
+        path = str(tmp_path / "n.pgm")
+        save_pgm(path, img)
+        back = read_pgm(path)
+        assert back[0, 0] == 0 and back[0, 1] == 255
+
+    def test_pgm_handles_nan(self, tmp_path):
+        img = np.array([[np.nan, 1.0]])
+        save_pgm(str(tmp_path / "nan.pgm"), img, vmin=0.0, vmax=1.0)
+        assert read_pgm(str(tmp_path / "nan.pgm"))[0, 0] == 0
+
+    def test_pgm_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            save_pgm(str(tmp_path / "x.pgm"), np.zeros((2, 2, 3)))
+
+    def test_ppm_shape(self, tmp_path):
+        rgb = np.zeros((4, 5, 3))
+        rgb[..., 0] = 1.0
+        path = str(tmp_path / "c.ppm")
+        save_ppm(path, rgb, vmin=0.0, vmax=1.0)
+        with open(path, "rb") as fp:
+            assert fp.readline().strip() == b"P6"
+            assert fp.readline().split() == [b"5", b"4"]
+
+    def test_ppm_rejects_gray(self, tmp_path):
+        with pytest.raises(ValueError, match="3"):
+            save_ppm(str(tmp_path / "x.ppm"), np.zeros((2, 2)))
+
+    def test_constant_image(self, tmp_path):
+        save_pgm(str(tmp_path / "c.pgm"), np.full((2, 2), 3.0))
+        assert read_pgm(str(tmp_path / "c.pgm")).shape == (2, 2)

@@ -1,0 +1,138 @@
+"""Tests for the lowering passes: probe synthesis (to_mid) and kernel
+expansion (to_low) — paper §5.3."""
+
+import pytest
+
+from repro.core.codegen.interp import compile_high
+from repro.core.ir import ops as irops
+from repro.core.ir.base import validate
+from repro.core.xform.to_low import to_low
+from repro.core.xform.to_mid import to_mid
+from repro.core.xform.to_mid import _combos
+from repro.kernels import bspln3, ctmr, tent
+
+
+def ops_of(fn):
+    return [i.op for i in fn.body.instructions()]
+
+
+def lower_update(src: str, to: str = "mid"):
+    hp = compile_high(src)
+    fn = hp.update_func
+    to_mid(fn, hp.images)
+    if to == "low":
+        to_low(fn)
+    return fn, hp
+
+
+PROBE_SRC = """
+image(3)[] img = load("a.nrrd");
+field#2(3)[] F = img ⊛ bspln3;
+strand S (int i) {
+    vec3 pos = [real(i), 0.0, 0.0];
+    output real v = 0.0;
+    update { v = F(pos); stabilize; }
+}
+initially [ S(i) | i in 0 .. 9 ];
+"""
+
+GRAD_SRC = PROBE_SRC.replace("output real v = 0.0;", "output vec3 v = [0.0,0.0,0.0];").replace(
+    "v = F(pos);", "v = ∇F(pos);"
+)
+
+INSIDE_SRC = PROBE_SRC.replace("v = F(pos);", "if (inside(pos, F)) v = 1.0;")
+
+ONE_D_SRC = """
+field#1(1)[] f = ctmr ⊛ load("sig.nrrd");
+strand S (int i) {
+    output real v = 0.0;
+    update { v = f(real(i)); stabilize; }
+}
+initially [ S(i) | i in 0 .. 9 ];
+"""
+
+
+class TestCombos:
+    def test_deriv0(self):
+        assert _combos(3, 0) == [()]
+
+    def test_deriv1(self):
+        assert _combos(2, 1) == [(0,), (1,)]
+
+    def test_deriv2_row_major(self):
+        assert _combos(2, 2) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_count(self):
+        assert len(_combos(3, 2)) == 9
+
+
+class TestToMid:
+    def test_probe_pipeline_ops(self):
+        fn, _ = lower_update(PROBE_SRC)
+        ops = ops_of(fn)
+        for op in ("to_index", "floor_i", "fract", "gather", "weights", "conv_contract"):
+            assert op in ops, op
+        assert "probe" not in ops  # compiled away (§5.1)
+
+    def test_scalar_probe_has_no_grad_xform(self):
+        fn, _ = lower_update(PROBE_SRC)
+        assert "grad_xform" not in ops_of(fn)
+        assert "deriv_assemble" not in ops_of(fn)
+
+    def test_gradient_probe_has_world_pushback(self):
+        fn, _ = lower_update(GRAD_SRC)
+        ops = ops_of(fn)
+        assert "grad_xform" in ops
+        assert "deriv_assemble" in ops
+
+    def test_one_weight_vector_per_axis(self):
+        fn, _ = lower_update(PROBE_SRC)
+        assert ops_of(fn).count("weights") == 3
+
+    def test_inside_lowering(self):
+        fn, _ = lower_update(INSIDE_SRC)
+        ops = ops_of(fn)
+        assert "index_inside" in ops
+        assert "inside" not in ops
+
+    def test_1d_position_wrapped(self):
+        fn, _ = lower_update(ONE_D_SRC)
+        ops = ops_of(fn)
+        assert "to_index" in ops
+        assert "gather" in ops
+
+    def test_validates_as_mid(self):
+        fn, _ = lower_update(PROBE_SRC)
+        validate(fn, irops.MID, "MidIR")
+
+
+class TestToLow:
+    def test_weights_expanded_to_horner(self):
+        fn, _ = lower_update(PROBE_SRC, to="low")
+        ops = ops_of(fn)
+        assert "weights" not in ops
+        # bspln3 support 2 → 4 horner evaluations per axis, 3 axes
+        assert ops.count("horner") == 12
+        assert ops.count("vec_cons") == 3
+
+    def test_horner_coefficients_are_weight_polynomials(self):
+        fn, _ = lower_update(PROBE_SRC, to="low")
+        coeffs = [
+            i.attrs["coeffs"]
+            for i in fn.body.instructions()
+            if i.op == "horner"
+        ]
+        expected = [p.coeffs for p in bspln3.weight_polynomials()]
+        assert coeffs[:4] == expected
+
+    def test_validates_as_low(self):
+        fn, _ = lower_update(GRAD_SRC, to="low")
+        validate(fn, irops.LOW, "LowIR")
+
+    def test_derivative_weights_use_derivative_polynomials(self):
+        fn, _ = lower_update(GRAD_SRC, to="low")
+        coeff_sets = {
+            i.attrs["coeffs"] for i in fn.body.instructions() if i.op == "horner"
+        }
+        d_polys = {p.coeffs for p in bspln3.derivative().weight_polynomials()}
+        assert d_polys <= coeff_sets

@@ -1,0 +1,248 @@
+"""Tests for the NRRD reader/writer (paper §5.5's image I/O substrate)."""
+
+import gzip
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NrrdError
+from repro.image import Image, Orientation
+from repro.nrrd import read_nrrd, read_nrrd_header, write_nrrd
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("encoding", ["raw", "gzip", "ascii"])
+    def test_scalar_3d(self, tmp_path, rng, encoding):
+        img = Image(rng.standard_normal((5, 6, 7)))
+        path = str(tmp_path / "t.nrrd")
+        write_nrrd(path, img, encoding=encoding)
+        back = read_nrrd(path)
+        assert back.dim == 3 and back.sizes == (5, 6, 7)
+        assert np.allclose(back.data, img.data)
+
+    def test_orientation_preserved(self, tmp_path, rng):
+        orient = Orientation(
+            np.array([[0.5, 0.0, 0.0], [0.0, 0.7, 0.1], [0.0, 0.0, 0.9]]),
+            np.array([-1.0, 2.0, 3.0]),
+        )
+        img = Image(rng.standard_normal((4, 4, 4)), orientation=orient)
+        path = str(tmp_path / "t.nrrd")
+        write_nrrd(path, img)
+        assert read_nrrd(path).orientation == orient
+
+    def test_vector_image(self, tmp_path, rng):
+        img = Image(rng.standard_normal((6, 7, 2)), dim=2, tensor_shape=(2,))
+        path = str(tmp_path / "v.nrrd")
+        write_nrrd(path, img, encoding="gzip")
+        back = read_nrrd(path)
+        assert back.dim == 2 and back.tensor_shape == (2,)
+        assert np.allclose(back.data, img.data)
+
+    def test_matrix_image(self, tmp_path, rng):
+        img = Image(rng.standard_normal((4, 5, 2, 2)), dim=2, tensor_shape=(2, 2))
+        path = str(tmp_path / "m.nrrd")
+        write_nrrd(path, img)
+        back = read_nrrd(path)
+        assert back.tensor_shape == (2, 2)
+        assert np.allclose(back.data, img.data)
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int16, np.uint16, np.int32, np.float32, np.float64])
+    def test_sample_types(self, tmp_path, rng, dtype):
+        data = (rng.uniform(0, 100, (4, 5))).astype(dtype)
+        img = Image(data.astype(np.float64))
+        path = str(tmp_path / "d.nrrd")
+        write_nrrd(path, img, dtype=dtype)
+        back = read_nrrd(path)
+        assert np.allclose(back.data, data.astype(np.float64))
+
+    def test_bare_array(self, tmp_path, rng):
+        arr = rng.standard_normal((3, 4))
+        path = str(tmp_path / "b.nrrd")
+        write_nrrd(path, arr)
+        back = read_nrrd(path)
+        assert back.dim == 2 and np.allclose(back.data, arr)
+
+    def test_1d(self, tmp_path):
+        arr = np.arange(9.0)
+        path = str(tmp_path / "o.nrrd")
+        write_nrrd(path, arr)
+        assert np.allclose(read_nrrd(path).data, arr)
+
+    @given(
+        shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        encoding=st.sampled_from(["raw", "gzip", "ascii"]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, shape, encoding, seed):
+        import tempfile
+
+        data = np.random.default_rng(seed).standard_normal(shape)
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "p.nrrd")
+            write_nrrd(path, Image(data), encoding=encoding)
+            assert np.allclose(read_nrrd(path).data, data)
+
+
+class TestHandWrittenHeaders:
+    def _write(self, tmp_path, header: str, payload: bytes) -> str:
+        path = str(tmp_path / "h.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(header.encode("ascii"))
+            fp.write(payload)
+        return path
+
+    def test_minimal_header(self, tmp_path):
+        data = np.arange(6, dtype="<f4")
+        path = self._write(
+            tmp_path,
+            "NRRD0001\ntype: float\ndimension: 2\nsizes: 3 2\n"
+            "endian: little\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        img = read_nrrd(path)
+        # NRRD axis 0 (size 3) is fastest
+        assert img.sizes == (3, 2)
+        assert img.data[1, 0] == 1.0
+        assert img.data[0, 1] == 3.0
+
+    def test_comments_and_keyvalues_ignored(self, tmp_path):
+        data = np.zeros(4, dtype="<f4")
+        path = self._write(
+            tmp_path,
+            "NRRD0004\n# a comment\ntype: float\ndimension: 1\nsizes: 4\n"
+            "endian: little\nmykey:=myvalue\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        assert read_nrrd(path).sizes == (4,)
+
+    def test_big_endian(self, tmp_path):
+        data = np.arange(4, dtype=">i2")
+        path = self._write(
+            tmp_path,
+            "NRRD0001\ntype: short\ndimension: 1\nsizes: 4\n"
+            "endian: big\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        assert np.allclose(read_nrrd(path).data, [0, 1, 2, 3])
+
+    def test_spacings(self, tmp_path):
+        data = np.zeros(4, dtype="<f8")
+        path = self._write(
+            tmp_path,
+            "NRRD0001\ntype: double\ndimension: 1\nsizes: 4\n"
+            "endian: little\nspacings: 0.5\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        img = read_nrrd(path)
+        assert np.allclose(img.orientation.directions, [[0.5]])
+
+    def test_kinds_classify_axes(self, tmp_path):
+        data = np.arange(12, dtype="<f4")
+        path = self._write(
+            tmp_path,
+            "NRRD0004\ntype: float\ndimension: 2\nsizes: 3 4\n"
+            "endian: little\nkinds: vector domain\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        img = read_nrrd(path)
+        assert img.dim == 1 and img.tensor_shape == (3,)
+
+    def test_detached_data_file(self, tmp_path):
+        data = np.arange(6, dtype="<f4")
+        with open(tmp_path / "payload.raw", "wb") as fp:
+            fp.write(data.tobytes())
+        path = str(tmp_path / "h.nhdr")
+        with open(path, "w") as fp:
+            fp.write(
+                "NRRD0004\ntype: float\ndimension: 1\nsizes: 6\n"
+                "endian: little\nencoding: raw\ndata file: payload.raw\n\n"
+            )
+        assert np.allclose(read_nrrd(path).data, data)
+
+    def test_read_header_offset(self, tmp_path):
+        data = np.zeros(2, dtype="<f4")
+        path = self._write(
+            tmp_path,
+            "NRRD0001\ntype: float\ndimension: 1\nsizes: 2\n"
+            "endian: little\nencoding: raw\n\n",
+            data.tobytes(),
+        )
+        fields, offset = read_nrrd_header(path)
+        assert fields["type"] == "float"
+        assert offset == os.path.getsize(path) - data.nbytes
+
+
+class TestErrors:
+    def test_not_nrrd(self, tmp_path):
+        path = str(tmp_path / "bad")
+        with open(path, "wb") as fp:
+            fp.write(b"PNG\n\n")
+        with pytest.raises(NrrdError, match="not a NRRD"):
+            read_nrrd(path)
+
+    def test_missing_required_field(self, tmp_path):
+        path = str(tmp_path / "bad.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(b"NRRD0001\ntype: float\n\n")
+        with pytest.raises(NrrdError, match="missing required"):
+            read_nrrd(path)
+
+    def test_truncated_data(self, tmp_path):
+        path = str(tmp_path / "t.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(
+                b"NRRD0001\ntype: float\ndimension: 1\nsizes: 100\n"
+                b"endian: little\nencoding: raw\n\n\x00\x00\x00\x00"
+            )
+        with pytest.raises(NrrdError, match="expected 100 samples"):
+            read_nrrd(path)
+
+    def test_unsupported_encoding(self, tmp_path):
+        path = str(tmp_path / "e.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(
+                b"NRRD0001\ntype: float\ndimension: 1\nsizes: 1\n"
+                b"endian: little\nencoding: hex\n\n00"
+            )
+        with pytest.raises(NrrdError, match="encoding"):
+            read_nrrd(path)
+
+    def test_bad_gzip(self, tmp_path):
+        path = str(tmp_path / "g.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(
+                b"NRRD0001\ntype: float\ndimension: 1\nsizes: 1\n"
+                b"endian: little\nencoding: gzip\n\nnot-gzip-data"
+            )
+        with pytest.raises(NrrdError, match="gzip"):
+            read_nrrd(path)
+
+    def test_sizes_dimension_mismatch(self, tmp_path):
+        path = str(tmp_path / "s.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(
+                b"NRRD0001\ntype: float\ndimension: 2\nsizes: 4\n"
+                b"encoding: raw\n\n"
+            )
+        with pytest.raises(NrrdError, match="sizes"):
+            read_nrrd(path)
+
+    def test_write_rejects_high_rank_bare_array(self, tmp_path):
+        with pytest.raises(NrrdError, match="ambiguous"):
+            write_nrrd(str(tmp_path / "x.nrrd"), np.zeros((2, 2, 2, 2)))
+
+    def test_unterminated_header(self, tmp_path):
+        path = str(tmp_path / "u.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(b"NRRD0001\ntype: float\n")
+        with pytest.raises(NrrdError, match="EOF"):
+            read_nrrd_header(path)

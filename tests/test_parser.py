@@ -1,0 +1,248 @@
+"""Tests for the Diderot parser (grammar of paper §3)."""
+
+import pytest
+
+from repro.core.syntax import ast, parse_program
+from repro.core.syntax.parser import Parser
+from repro.errors import SyntaxErrorD
+
+MINIMAL = """
+strand S (int i) {
+    output real x = 0.0;
+    update { stabilize; }
+}
+initially [ S(i) | i in 0 .. 9 ];
+"""
+
+
+def parse_expr(src: str) -> ast.Expr:
+    p = Parser(src)
+    return p.parse_expr()
+
+
+class TestProgramStructure:
+    def test_minimal(self):
+        prog = parse_program(MINIMAL)
+        assert prog.strand.name == "S"
+        assert prog.initially.kind == "grid"
+        assert [p.name for p in prog.strand.params] == ["i"]
+
+    def test_collection_initially(self):
+        prog = parse_program(MINIMAL.replace("[ S(i)", "{ S(i)").replace("9 ];", "9 };"))
+        assert prog.initially.kind == "collection"
+
+    def test_globals_and_inputs(self):
+        prog = parse_program("input real a = 1.0;\nint b = 2;\n" + MINIMAL)
+        assert prog.globals[0].is_input and prog.globals[0].name == "a"
+        assert not prog.globals[1].is_input
+
+    def test_input_without_default(self):
+        prog = parse_program("input int n;\n" + MINIMAL)
+        assert prog.globals[0].init is None
+
+    def test_non_input_global_requires_init(self):
+        with pytest.raises(SyntaxErrorD, match="must be initialized"):
+            parse_program("int n;\n" + MINIMAL)
+
+    def test_strand_requires_update(self):
+        with pytest.raises(SyntaxErrorD, match="no update method"):
+            parse_program("""
+                strand S (int i) { output real x = 0.0; }
+                initially [ S(i) | i in 0 .. 9 ];
+            """)
+
+    def test_stabilize_method(self):
+        prog = parse_program("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+                stabilize { x = 1.0; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """)
+        assert prog.strand.method("stabilize") is not None
+
+    def test_state_after_method_rejected(self):
+        with pytest.raises(SyntaxErrorD, match="precede"):
+            parse_program("""
+                strand S (int i) {
+                    update { stabilize; }
+                    output real x = 0.0;
+                }
+                initially [ S(i) | i in 0 .. 9 ];
+            """)
+
+    def test_multi_iterator_comprehension(self):
+        prog = parse_program("""
+            strand S (int i, int j) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i, j) | i in 0 .. 4, j in 1 .. 5 ];
+        """)
+        assert [it.name for it in prog.initially.iters] == ["i", "j"]
+
+    def test_reserved_word_as_name_rejected(self):
+        with pytest.raises(SyntaxErrorD, match="reserved"):
+            parse_program(MINIMAL.replace("int i", "int strand"))
+
+    def test_missing_strand(self):
+        with pytest.raises(SyntaxErrorD, match="missing strand"):
+            parse_program("input real a = 1.0;")
+
+
+class TestTypes:
+    def test_type_annotations(self):
+        prog = parse_program("""
+            input bool flag = true;
+            image(3)[] img = load("x.nrrd");
+            field#2(3)[3] F = img ⊛ bspln3;
+            tensor[3,3] m = identity[3];
+        """ + MINIMAL)
+        tys = [g.ty_expr for g in prog.globals]
+        assert tys[0].kind == "bool"
+        assert tys[1].kind == "image" and tys[1].dim == 3 and tys[1].shape == []
+        assert tys[2].kind == "field" and tys[2].continuity == 2 and tys[2].shape == [3]
+        assert tys[3].kind == "tensor" and tys[3].shape == [3, 3]
+
+    def test_vec_synonyms(self):
+        prog = parse_program("input vec2 a = [0.0,0.0]; input vec4 b = [0.0,0.0,0.0,0.0];" + MINIMAL)
+        assert prog.globals[0].ty_expr.shape == [2]
+        assert prog.globals[1].ty_expr.shape == [4]
+
+    def test_kernel_type(self):
+        prog = parse_program("input real a = 1.0;" + MINIMAL.replace(
+            "output real x = 0.0;", "output real x = 0.0;"))
+        assert prog is not None  # smoke
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        e = parse_expr("-a * b")
+        assert isinstance(e, ast.BinOp) and e.op == "*"
+        assert isinstance(e.left, ast.UnOp)
+
+    def test_power_right_associative_under_unary(self):
+        e = parse_expr("-x^2")
+        # Diderot: -(x^2)
+        assert isinstance(e, ast.UnOp) and e.op == "-"
+        assert isinstance(e.operand, ast.BinOp) and e.operand.op == "^"
+
+    def test_conditional_chain_right_associative(self):
+        e = parse_expr("1.0 if a else 2.0 if b else 3.0")
+        assert isinstance(e, ast.Cond)
+        assert isinstance(e.else_e, ast.Cond)
+
+    def test_nabla_probe_binding(self):
+        """∇F(pos) is (∇F)(pos), not ∇(F(pos)) — Figure 1 line 26."""
+        e = parse_expr("∇F(pos)")
+        assert isinstance(e, ast.Probe)
+        assert isinstance(e.field, ast.UnOp) and e.field.op == "∇"
+
+    def test_nabla_chain(self):
+        e = parse_expr("∇⊗∇F(pos)")
+        assert isinstance(e, ast.Probe)
+        outer = e.field
+        assert isinstance(outer, ast.UnOp) and outer.op == "∇⊗"
+        assert isinstance(outer.operand, ast.UnOp) and outer.operand.op == "∇"
+
+    def test_nabla_div_and_curl(self):
+        assert parse_expr("∇•V").op == "∇•"
+        assert parse_expr("∇×V").op == "∇×"
+
+    def test_paren_field_probe(self):
+        e = parse_expr("(F1 if b else F2)(x)")
+        assert isinstance(e, ast.Probe)
+        assert isinstance(e.field, ast.Cond)
+
+    def test_norm(self):
+        e = parse_expr("|a + b|")
+        assert isinstance(e, ast.Norm)
+        assert isinstance(e.operand, ast.BinOp)
+
+    def test_norm_of_probe(self):
+        e = parse_expr("|V(pos0)|")
+        assert isinstance(e, ast.Norm)
+        assert isinstance(e.operand, ast.Call)
+
+    def test_tensor_cons(self):
+        e = parse_expr("[1.0, 2.0, 3.0]")
+        assert isinstance(e, ast.TensorCons) and len(e.elements) == 3
+
+    def test_indexing(self):
+        e = parse_expr("m[1, 2]")
+        assert isinstance(e, ast.Index) and len(e.indices) == 2
+
+    def test_identity(self):
+        e = parse_expr("identity[3]")
+        assert isinstance(e, ast.Identity) and e.n == 3
+
+    def test_load(self):
+        e = parse_expr('load("a.nrrd")')
+        assert isinstance(e, ast.Load) and e.path == "a.nrrd"
+
+    def test_casts(self):
+        e = parse_expr("real(i)")
+        assert isinstance(e, ast.Call) and e.func == "real"
+
+    def test_mul_ops(self):
+        for op in ("•", "×", "⊗", "⊛"):
+            e = parse_expr(f"a {op} b")
+            assert isinstance(e, ast.BinOp) and e.op == op
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_keyword_in_expression_rejected(self):
+        with pytest.raises(SyntaxErrorD, match="keyword"):
+            parse_expr("1 + strand")
+
+
+class TestStatements:
+    def _update_stmts(self, body: str):
+        prog = parse_program(MINIMAL.replace("stabilize;", body))
+        return prog.strand.method("update").body.stmts
+
+    def test_compound_assignment_ops(self):
+        stmts = self._update_stmts("x += 1.0; x -= 2.0; x *= 3.0; x /= 4.0; stabilize;")
+        ops = [s.op for s in stmts if isinstance(s, ast.AssignStmt)]
+        assert ops == ["+=", "-=", "*=", "/="]
+
+    def test_if_else(self):
+        stmts = self._update_stmts("if (x > 0.0) x = 1.0; else x = 2.0; stabilize;")
+        assert isinstance(stmts[0], ast.IfStmt)
+        assert stmts[0].else_s is not None
+
+    def test_dangling_else(self):
+        stmts = self._update_stmts(
+            "if (x > 0.0) if (x > 1.0) x = 1.0; else x = 2.0; stabilize;"
+        )
+        outer = stmts[0]
+        assert outer.else_s is None  # else binds to inner if
+        assert outer.then_s.else_s is not None
+
+    def test_die(self):
+        stmts = self._update_stmts("die;")
+        assert isinstance(stmts[0], ast.DieStmt)
+
+    def test_local_decl(self):
+        stmts = self._update_stmts("real v = 1.0; stabilize;")
+        assert isinstance(stmts[0], ast.DeclStmt)
+
+    def test_nested_block(self):
+        stmts = self._update_stmts("{ real v = 1.0; x = v; } stabilize;")
+        assert isinstance(stmts[0], ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SyntaxErrorD, match="';'"):
+            self._update_stmts("x = 1.0 stabilize;")
+
+    def test_expression_statement_rejected(self):
+        with pytest.raises(SyntaxErrorD, match="assignment"):
+            self._update_stmts("x; stabilize;")

@@ -1,0 +1,92 @@
+"""Unit and property tests for the piecewise-polynomial substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.piecewise import Polynomial
+
+coeff_lists = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=1, max_size=6
+)
+
+
+class TestConstruction:
+    def test_of_trims_trailing_zeros(self):
+        p = Polynomial.of([1.0, 2.0, 0.0, 0.0])
+        assert p.coeffs == (1.0, 2.0)
+
+    def test_of_keeps_single_zero(self):
+        assert Polynomial.of([0.0, 0.0]).coeffs == (0.0,)
+
+    def test_of_empty_is_zero(self):
+        assert Polynomial.of([]).coeffs == (0.0,)
+
+    def test_degree(self):
+        assert Polynomial.of([1, 2, 3]).degree == 2
+        assert Polynomial.of([5]).degree == 0
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert Polynomial.of([3.5])(100.0) == 3.5
+
+    def test_cubic_at_points(self):
+        p = Polynomial.of([1.0, -2.0, 0.5, 1.0])  # 1 - 2x + x²/2 + x³
+        for x in (-1.5, 0.0, 0.25, 2.0):
+            expected = 1 - 2 * x + 0.5 * x * x + x**3
+            assert p(x) == pytest.approx(expected, rel=1e-14)
+
+    def test_vectorized(self):
+        p = Polynomial.of([0.0, 1.0, 1.0])
+        xs = np.linspace(-2, 2, 11)
+        assert np.allclose(p(xs), xs + xs * xs)
+
+
+class TestDerivative:
+    def test_constant_derivative_is_zero(self):
+        assert Polynomial.of([7.0]).derivative().coeffs == (0.0,)
+
+    def test_power_rule(self):
+        p = Polynomial.of([1.0, 2.0, 3.0, 4.0])
+        assert p.derivative().coeffs == (2.0, 6.0, 12.0)
+
+    @given(coeff_lists, st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=50)
+    def test_derivative_matches_finite_difference(self, coeffs, x):
+        p = Polynomial.of(coeffs)
+        h = 1e-6
+        fd = (p(x + h) - p(x - h)) / (2 * h)
+        assert float(p.derivative()(x)) == pytest.approx(fd, rel=1e-4, abs=1e-4)
+
+
+class TestShift:
+    @given(coeff_lists, st.floats(min_value=-4, max_value=4, allow_nan=False),
+           st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=50)
+    def test_shift_is_composition(self, coeffs, a, x):
+        p = Polynomial.of(coeffs)
+        assert float(p.shift(a)(x)) == pytest.approx(float(p(x + a)), rel=1e-9, abs=1e-9)
+
+    def test_shift_zero_is_identity(self):
+        p = Polynomial.of([1.0, 2.0, 3.0])
+        assert p.shift(0.0).coeffs == p.coeffs
+
+
+class TestAlgebra:
+    @given(coeff_lists, coeff_lists, st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=50)
+    def test_add_pointwise(self, c1, c2, x):
+        p, q = Polynomial.of(c1), Polynomial.of(c2)
+        assert float(p.add(q)(x)) == pytest.approx(float(p(x)) + float(q(x)), rel=1e-9, abs=1e-9)
+
+    @given(coeff_lists, st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=50)
+    def test_scale_pointwise(self, c, s):
+        p = Polynomial.of(c)
+        assert float(p.scale(s)(1.7)) == pytest.approx(s * float(p(1.7)), rel=1e-9, abs=1e-9)
+
+    def test_is_zero(self):
+        assert Polynomial.of([0.0]).is_zero()
+        assert not Polynomial.of([0.0, 1e-30]).is_zero()

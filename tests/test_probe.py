@@ -1,0 +1,226 @@
+"""Tests for the separable-convolution probe engine (paper §5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields.probe import (
+    gather_neighborhood,
+    probe_convolution,
+    probe_inside,
+    split_position,
+)
+from repro.image import Image, Orientation
+from repro.kernels import bspln3, bspln5, ctmr, tent
+
+ALL = [tent, ctmr, bspln3, bspln5]
+
+pos1d = st.floats(min_value=4.0, max_value=14.0, allow_nan=False)
+
+
+class TestSplitPosition:
+    def test_basic(self):
+        n, f = split_position(np.array([[2.75, -1.25]]))
+        assert list(n[0]) == [2, -2]
+        assert np.allclose(f[0], [0.75, 0.75])
+
+    def test_integer_positions(self):
+        n, f = split_position(np.array([[3.0]]))
+        assert n[0, 0] == 3 and f[0, 0] == 0.0
+
+    def test_nan_sanitized(self):
+        n, f = split_position(np.array([[np.nan, np.inf]]))
+        assert np.all(np.isfinite(f))
+
+    def test_preserves_dtype(self):
+        _, f = split_position(np.array([[1.5]], dtype=np.float32))
+        assert f.dtype == np.float32
+
+
+class TestGather:
+    def test_1d_neighborhood(self):
+        img = np.arange(10.0)
+        vals = gather_neighborhood(img, np.array([[4]]), support=2, dim=1)
+        assert np.allclose(vals[0], [3, 4, 5, 6])
+
+    def test_2d_neighborhood_shape(self):
+        img = np.arange(100.0).reshape(10, 10)
+        vals = gather_neighborhood(img, np.array([[4, 5]]), support=2, dim=2)
+        assert vals.shape == (1, 4, 4)
+        assert vals[0, 0, 0] == img[3, 4]
+
+    def test_clamping_at_edges(self):
+        img = np.arange(5.0)
+        vals = gather_neighborhood(img, np.array([[0]]), support=2, dim=1)
+        assert np.allclose(vals[0], [0, 0, 1, 2])  # -1 clamps to 0
+
+    def test_tensor_samples(self):
+        img = np.zeros((6, 6, 3))
+        vals = gather_neighborhood(img, np.array([[2, 2]]), support=1, dim=2)
+        assert vals.shape == (1, 2, 2, 3)
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("kern", ALL, ids=lambda k: k.name)
+    @given(x=pos1d)
+    @settings(max_examples=25, deadline=None)
+    def test_linear_exactness(self, kern, x):
+        """Every kernel with PoU + symmetry reconstructs linears exactly."""
+        img = Image(2.0 * np.arange(20.0) - 5.0, dim=1)
+        got = probe_convolution(img, kern, np.array([[x]]))
+        assert float(got[0]) == pytest.approx(2.0 * x - 5.0, rel=1e-12)
+
+    @pytest.mark.parametrize("kern", [ctmr], ids=lambda k: k.name)
+    @given(x=pos1d)
+    @settings(max_examples=25, deadline=None)
+    def test_catmull_rom_reconstructs_quadratics(self, kern, x):
+        xs = np.arange(20.0)
+        img = Image(xs * xs, dim=1)
+        got = probe_convolution(img, kern, np.array([[x]]))
+        assert float(got[0]) == pytest.approx(x * x, rel=1e-10)
+
+    def test_interpolation_at_samples(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(16)
+        img = Image(data, dim=1)
+        for kern in (tent, ctmr):  # interpolating kernels only
+            for i in range(4, 12):
+                got = probe_convolution(img, kern, np.array([[float(i)]]))
+                assert float(got[0]) == pytest.approx(data[i], abs=1e-12)
+
+    @pytest.mark.parametrize("kern", [ctmr, bspln3, bspln5], ids=lambda k: k.name)
+    def test_gradient_matches_finite_difference_3d(self, kern, rng):
+        data = rng.standard_normal((14, 15, 16))
+        img = Image(data, dim=3)
+        pos = np.array([[6.3, 7.1, 8.9]])
+        g = probe_convolution(img, kern, pos, deriv=1)[0]
+        eps = 1e-5
+        for a in range(3):
+            dp = np.zeros(3)
+            dp[a] = eps
+            fd = (
+                probe_convolution(img, kern, pos + dp)
+                - probe_convolution(img, kern, pos - dp)
+            )[0] / (2 * eps)
+            assert g[a] == pytest.approx(float(fd), abs=1e-5)
+
+    def test_hessian_symmetric(self, rng):
+        img = Image(rng.standard_normal((12, 12, 12)), dim=3)
+        h = probe_convolution(img, bspln3, np.array([[5.2, 5.7, 6.1]]), deriv=2)[0]
+        assert np.allclose(h, h.T, atol=1e-14)
+
+    def test_vector_image_probe(self, rng):
+        data = rng.standard_normal((10, 10, 2))
+        img = Image(data, dim=2, tensor_shape=(2,))
+        v = probe_convolution(img, tent, np.array([[4.0, 5.0]]))[0]
+        assert np.allclose(v, data[4, 5])
+
+    def test_jacobian_of_linear_vector_field(self):
+        xs, ys = np.meshgrid(np.arange(12.0), np.arange(12.0), indexing="ij")
+        data = np.stack([2 * xs + ys, 3 * ys], axis=-1)
+        img = Image(data, dim=2, tensor_shape=(2,))
+        jac = probe_convolution(img, ctmr, np.array([[5.3, 6.7]]), deriv=1)[0]
+        assert np.allclose(jac, [[2.0, 1.0], [0.0, 3.0]], atol=1e-10)
+
+
+class TestOrientation:
+    def test_world_spacing_scales_gradient(self):
+        data = np.arange(20.0)  # slope 1 per index
+        spacing = 0.25
+        img = Image(data, dim=1, orientation=Orientation.axis_aligned(1, spacing))
+        g = probe_convolution(img, ctmr, np.array([[1.0]]), deriv=1)[0]
+        assert float(g[0]) == pytest.approx(1.0 / spacing)
+
+    def test_rotated_gradient_is_covariant(self, rng):
+        theta = 0.6
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s], [s, c]])
+        orient = Orientation(rot, np.zeros(2))  # rows = axis world steps
+        data = rng.standard_normal((16, 16))
+        img = Image(data, dim=2, orientation=orient)
+        pos = orient.to_world(np.array([[7.3, 8.1]]))
+        g = probe_convolution(img, bspln3, pos, deriv=1)[0]
+        eps = 1e-5
+        fd = np.array([
+            float(
+                (
+                    probe_convolution(img, bspln3, pos + eps * np.eye(2)[a])
+                    - probe_convolution(img, bspln3, pos - eps * np.eye(2)[a])
+                )[0]
+            ) / (2 * eps)
+            for a in range(2)
+        ])
+        assert np.allclose(g, fd, atol=1e-5)
+
+    def test_second_derivative_world_transform(self, rng):
+        orient = Orientation(np.array([[0.5, 0.1], [0.0, 0.8]]), np.array([1.0, -2.0]))
+        data = rng.standard_normal((16, 16))
+        img = Image(data, dim=2, orientation=orient)
+        pos = orient.to_world(np.array([[7.0, 7.5]]))
+        hess = probe_convolution(img, bspln3, pos, deriv=2)[0]
+        eps = 1e-4
+        for a in range(2):
+            dp = eps * np.eye(2)[a]
+            fd = (
+                probe_convolution(img, bspln3, pos + dp, deriv=1)
+                - probe_convolution(img, bspln3, pos - dp, deriv=1)
+            )[0] / (2 * eps)
+            assert np.allclose(hess[:, a], fd, atol=2e-3)
+
+
+class TestBatching:
+    def test_single_equals_batched(self, rng):
+        img = Image(rng.standard_normal((10, 10)), dim=2)
+        pts = rng.uniform(3, 7, (8, 2))
+        batched = probe_convolution(img, bspln3, pts)
+        for i, p in enumerate(pts):
+            single = probe_convolution(img, bspln3, p)
+            assert single == pytest.approx(float(batched[i]))
+
+    def test_float32(self, rng):
+        img = Image(rng.standard_normal((10, 10)), dim=2)
+        got = probe_convolution(
+            img, bspln3, np.array([[4.5, 5.5]], dtype=np.float32)
+        )
+        assert got.dtype == np.float32
+
+    def test_wrong_dimension_rejected(self, rng):
+        img = Image(rng.standard_normal((10, 10)), dim=2)
+        with pytest.raises(ValueError, match="dimension"):
+            probe_convolution(img, bspln3, np.zeros((3, 3)))
+
+
+class TestInside:
+    def test_bounds_1d(self):
+        img = Image(np.zeros(10), dim=1)
+        # bspln3 support 2: floor index must be in [1, 7]
+        assert probe_inside(img, 2, np.array([1.0]))
+        assert probe_inside(img, 2, np.array([7.9]))
+        assert not probe_inside(img, 2, np.array([0.9]))
+        assert not probe_inside(img, 2, np.array([8.0]))
+
+    def test_nan_is_outside(self):
+        img = Image(np.zeros((10, 10)), dim=2)
+        assert not probe_inside(img, 2, np.array([np.nan, 5.0]))
+        assert not probe_inside(img, 2, np.array([np.inf, 5.0]))
+
+    def test_batched(self):
+        img = Image(np.zeros(10), dim=1)
+        got = probe_inside(img, 1, np.array([[0.5], [-1.0], [8.5], [9.5]]))
+        assert list(got) == [True, False, True, False]
+
+    def test_world_space(self):
+        orient = Orientation.axis_aligned(1, spacing=2.0, origin=[100.0])
+        img = Image(np.zeros(10), dim=1, orientation=orient)
+        assert probe_inside(img, 1, np.array([104.0]))
+        assert not probe_inside(img, 1, np.array([4.0]))
+
+    def test_dead_lane_probe_is_safe(self):
+        """Probing garbage positions (predicated-off lanes) never faults."""
+        img = Image(np.arange(10.0), dim=1)
+        got = probe_convolution(
+            img, bspln3, np.array([[np.nan], [np.inf], [-1e30], [5.0]])
+        )
+        assert np.isfinite(got[3])
+        assert np.all(np.isfinite(got))  # clamped garbage, but finite

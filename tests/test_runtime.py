@@ -1,0 +1,168 @@
+"""Tests for the bulk-synchronous runtime and schedulers (paper §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import compile_program
+from repro.runtime.scheduler import SequentialScheduler, ThreadScheduler, make_blocks
+from repro.runtime.simsched import (
+    DEFAULT_LOCK_OVERHEAD,
+    simulate_run,
+    simulate_step,
+    speedup_curve,
+)
+
+
+class TestBlocks:
+    def test_even_split(self):
+        blocks = make_blocks(np.arange(12), 4)
+        assert [len(b) for b in blocks] == [4, 4, 4]
+
+    def test_remainder_block(self):
+        blocks = make_blocks(np.arange(10), 4)
+        assert [len(b) for b in blocks] == [4, 4, 2]
+
+    def test_paper_default_size(self):
+        from repro.runtime.program import DEFAULT_BLOCK_SIZE
+
+        assert DEFAULT_BLOCK_SIZE == 4096  # paper §5.5
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            make_blocks(np.arange(4), 0)
+
+    def test_empty(self):
+        assert make_blocks(np.arange(0), 4) == []
+
+
+class TestSchedulers:
+    def _run(self, sched, blocks):
+        return sched.run_step(blocks, lambda b: b.sum())
+
+    def test_sequential_results_in_order(self):
+        res, times = self._run(SequentialScheduler(), make_blocks(np.arange(10), 3))
+        assert res == [0 + 1 + 2, 3 + 4 + 5, 6 + 7 + 8, 9]
+        assert len(times) == 4
+
+    def test_thread_scheduler_matches_sequential(self):
+        blocks = make_blocks(np.arange(100), 7)
+        seq, _ = self._run(SequentialScheduler(), blocks)
+        par, _ = self._run(ThreadScheduler(4), blocks)
+        assert par == seq
+
+    def test_thread_scheduler_propagates_errors(self):
+        def boom(_):
+            raise ValueError("kaput")
+
+        with pytest.raises(ValueError, match="kaput"):
+            ThreadScheduler(2).run_step(make_blocks(np.arange(4), 2), boom)
+
+    def test_thread_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ThreadScheduler(0)
+
+
+class TestSimulatedScheduler:
+    def test_single_worker_is_sum(self):
+        times = [0.2, 0.3, 0.5]
+        got = simulate_step(times, 1, lock_overhead=0.0)
+        assert got == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        got = simulate_step([1.0, 1.0], 2, lock_overhead=0.0)
+        assert got == pytest.approx(1.0)
+
+    def test_bounded_by_longest_block(self):
+        # one huge block dominates regardless of workers
+        got = simulate_step([10.0, 0.1, 0.1], 8, lock_overhead=0.0)
+        assert got == pytest.approx(10.0, rel=0.01)
+
+    def test_more_workers_never_slower(self):
+        rng = np.random.default_rng(0)
+        times = list(rng.uniform(0.01, 0.1, 50))
+        prev = None
+        for w in (1, 2, 4, 8):
+            t = simulate_step(times, w, DEFAULT_LOCK_OVERHEAD)
+            if prev is not None:
+                assert t <= prev + 1e-12
+            prev = t
+
+    def test_speedup_bounded_by_workers_and_blocks(self):
+        times = [[0.01] * 6]
+        curve = speedup_curve(times, [1, 2, 4, 8, 16])
+        assert curve[1] == pytest.approx(1.0)
+        for w, s in curve.items():
+            assert s <= w + 1e-9
+            assert s <= 6 + 1e-9  # block-count bound (vr-lite effect, §6.4)
+
+    def test_lock_overhead_hurts_small_blocks(self):
+        """The paper's §6.4 observation: smaller strand blocks reduce
+        parallel scaling because of work-list lock traffic."""
+        total = 1.0
+        big_blocks = [[total / 8] * 8]
+        small_blocks = [[total / 512] * 512]
+        lock = 5e-4  # exaggerated for the test
+        s_big = speedup_curve(big_blocks, [8], lock)[8]
+        s_small = speedup_curve(small_blocks, [8], lock)[8]
+        assert s_small < s_big
+
+    def test_empty_step(self):
+        assert simulate_step([], 4, 1e-6) == 0.0
+
+    def test_simulate_run_sums_steps(self):
+        res = simulate_run([[0.5], [0.25]], 1, lock_overhead=0.0)
+        assert res.total_time == pytest.approx(0.75)
+        assert len(res.per_step) == 2
+
+    def test_barrier_between_steps(self):
+        """Two steps of one block each cannot overlap across the barrier."""
+        res = simulate_run([[1.0], [1.0]], 8, lock_overhead=0.0)
+        assert res.total_time == pytest.approx(2.0)
+
+
+class TestTraceCollection:
+    def test_block_trace_shape(self):
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { x += 1.0; if (x > 2.5) stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 99 ];
+        """
+        prog = compile_program(src)
+        res = prog.run(block_size=16, collect_trace=True)
+        assert res.steps == 3
+        assert len(res.block_trace) == 3
+        assert len(res.block_trace[0]) == 7  # ceil(100/16)
+        assert all(t >= 0 for step in res.block_trace for t in step)
+
+    def test_trace_off_by_default(self):
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """
+        res = compile_program(src).run()
+        assert res.block_trace == []
+
+
+class TestActiveSetShrinks:
+    def test_stable_strands_not_updated_again(self):
+        """Once stabilized, a strand's update must not run again."""
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update {
+                    x += 1.0;
+                    if (i == 0) stabilize;
+                }
+            }
+            initially [ S(i) | i in 0 .. 3 ];
+        """
+        prog = compile_program(src)
+        res = prog.run(max_steps=5)
+        out = res.outputs["x"]
+        assert out[0] == 1.0  # stabilized after first step
+        assert np.allclose(out[1:], 5.0)

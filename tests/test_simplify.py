@@ -1,0 +1,177 @@
+"""Tests for the simplification phase (paper §5.1)."""
+
+import pytest
+
+from repro.core.simple import (
+    DIE,
+    RUNNING,
+    STABILIZE,
+    STATUS_VAR,
+    eliminate_exits,
+    hoist_field_conditionals,
+    simplify_method,
+)
+from repro.core.syntax import ast, parse_program
+from repro.core.ty import check_program
+from repro.core.ty.types import FieldTy
+
+
+def update_of(src: str) -> ast.Block:
+    prog = parse_program(src)
+    check_program(prog)
+    return prog.strand.method("update").body
+
+
+def has_exit_nodes(stmt) -> bool:
+    if isinstance(stmt, (ast.StabilizeStmt, ast.DieStmt)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(has_exit_nodes(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.IfStmt):
+        return has_exit_nodes(stmt.then_s) or (
+            stmt.else_s is not None and has_exit_nodes(stmt.else_s)
+        )
+    return False
+
+
+WRAP = """
+strand S (int i) {{
+    output real x = 0.0;
+    update {{ {body} }}
+}}
+initially [ S(i) | i in 0 .. 9 ];
+"""
+
+
+class TestExitElimination:
+    def test_plain_stabilize_becomes_status_assign(self):
+        body = update_of(WRAP.format(body="stabilize;"))
+        out = eliminate_exits(body.stmts)
+        assert len(out) == 1
+        assign = out[0]
+        assert isinstance(assign, ast.AssignStmt)
+        assert assign.name == STATUS_VAR
+        assert assign.value.value == STABILIZE
+
+    def test_die_code(self):
+        out = eliminate_exits(update_of(WRAP.format(body="die;")).stmts)
+        assert out[0].value.value == DIE
+
+    def test_unreachable_after_exit_dropped(self):
+        out = eliminate_exits(
+            update_of(WRAP.format(body="stabilize; x = 1.0;")).stmts
+        )
+        assert len(out) == 1
+
+    def test_conditional_exit_guards_rest(self):
+        out = eliminate_exits(
+            update_of(WRAP.format(body="if (x > 1.0) stabilize; x = 2.0;")).stmts
+        )
+        assert isinstance(out[0], ast.IfStmt)
+        guard = out[1]
+        assert isinstance(guard, ast.IfStmt)
+        # guard condition is $status == RUNNING
+        assert isinstance(guard.cond, ast.BinOp) and guard.cond.op == "=="
+        assert guard.cond.left.name == STATUS_VAR
+        assert guard.cond.right.value == RUNNING
+
+    def test_no_guard_when_nothing_follows(self):
+        out = eliminate_exits(
+            update_of(WRAP.format(body="x = 2.0; if (x > 1.0) stabilize;")).stmts
+        )
+        assert len(out) == 2
+
+    def test_exit_inside_nested_block(self):
+        out = eliminate_exits(
+            update_of(WRAP.format(body="{ if (x > 0.0) die; } x = 1.0;")).stmts
+        )
+        assert isinstance(out[-1], ast.IfStmt)  # trailing guard
+
+    def test_both_branches_exit(self):
+        out = eliminate_exits(
+            update_of(
+                WRAP.format(body="if (x > 1.0) stabilize; else die; x = 9.0;")
+            ).stmts
+        )
+        guard = out[-1]
+        assert isinstance(guard, ast.IfStmt)
+
+    def test_no_exit_nodes_remain(self):
+        body = update_of(
+            WRAP.format(
+                body="if (x > 1.0) { stabilize; } else { if (x < 0.0) die; } x = 1.0;"
+            )
+        )
+        new = simplify_method(body, is_update=True)
+        assert not has_exit_nodes(new)
+
+    def test_statements_without_exits_untouched(self):
+        body = update_of(WRAP.format(body="x = 1.0; x += 2.0;"))
+        out = eliminate_exits(body.stmts)
+        assert len(out) == 2
+        assert all(isinstance(s, ast.AssignStmt) for s in out)
+
+
+FIELD_COND_SRC = """
+input bool b = true;
+image(3)[] i1 = load("a.nrrd");
+image(3)[] i2 = load("b.nrrd");
+field#2(3)[] F1 = i1 ⊛ bspln3;
+field#2(3)[] F2 = i2 ⊛ bspln3;
+strand S (int i) {
+    output real x = 0.0;
+    update {
+        x = (F1 if b else F2)([0.0, 0.0, 0.0]);
+        stabilize;
+    }
+}
+initially [ S(i) | i in 0 .. 9 ];
+"""
+
+
+class TestFieldConditionals:
+    def test_probe_pushed_into_branches(self):
+        body = update_of(FIELD_COND_SRC)
+        assign = body.stmts[0]
+        rewritten = hoist_field_conditionals(assign.value)
+        assert isinstance(rewritten, ast.Cond)
+        assert isinstance(rewritten.then_e, ast.Probe)
+        assert isinstance(rewritten.else_e, ast.Probe)
+        # the Cond is now real-typed, not field-typed
+        assert not isinstance(rewritten.ty, FieldTy)
+
+    def test_gradient_of_conditional_field(self):
+        src = FIELD_COND_SRC.replace(
+            "x = (F1 if b else F2)([0.0, 0.0, 0.0]);",
+            "vec3 g = ∇(F1 if b else F2)([0.0, 0.0, 0.0]); x = g[0];",
+        )
+        body = update_of(src)
+        decl = body.stmts[0]
+        rewritten = hoist_field_conditionals(decl.init)
+        assert isinstance(rewritten, ast.Cond)
+        # each branch: Probe of UnOp(∇, Var)
+        assert isinstance(rewritten.then_e, ast.Probe)
+        assert isinstance(rewritten.then_e.field, ast.UnOp)
+
+    def test_non_field_conditional_untouched(self):
+        body = update_of(WRAP.format(body="x = 1.0 if x > 0.0 else 2.0; stabilize;"))
+        e = body.stmts[0].value
+        assert hoist_field_conditionals(e) is e
+
+    def test_whole_program_compiles(self):
+        """End-to-end: the duplication makes the program compilable."""
+        import numpy as np
+
+        from repro.core.driver import compile_program
+        from repro.image import Image
+
+        prog = compile_program(FIELD_COND_SRC)
+        a = Image(np.full((8, 8, 8), 5.0), dim=3)
+        b = Image(np.full((8, 8, 8), 7.0), dim=3)
+        prog.bind_image("i1", a)
+        prog.bind_image("i2", b)
+        res = prog.run()
+        assert np.allclose(res.outputs["x"], 5.0)  # b defaults to true
+        prog.set_input("b", False)
+        res = prog.run()
+        assert np.allclose(res.outputs["x"], 7.0)

@@ -1,0 +1,101 @@
+"""Tests for the synthetic datasets (DESIGN.md substitution table)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    hand_phantom,
+    lung_phantom,
+    noise_texture,
+    portrait_phantom,
+    vector_field_2d,
+)
+from repro.data.synth import lung_vessel_centerlines
+from repro.fields import convolve
+from repro.kernels import bspln3, ctmr
+
+
+class TestHandPhantom:
+    def test_shape_and_orientation(self):
+        img = hand_phantom(32)
+        assert img.sizes == (32, 32, 32)
+        # world extent 40, centered
+        assert np.allclose(img.orientation.to_world([[0, 0, 0]]), [[-20, -20, -20]])
+        world_max = img.orientation.to_world([[31, 31, 31]])
+        assert np.allclose(world_max, [[20, 20, 20]])
+
+    def test_two_tissue_ranges(self):
+        """Skin-like and bone-like densities both present (opacity windows)."""
+        img = hand_phantom(32)
+        assert img.data.max() > 1000.0  # bone
+        assert np.any((img.data > 300) & (img.data < 700))  # soft tissue
+        assert img.data.min() >= 0.0
+
+    def test_resolution_scales_geometry(self):
+        lo = hand_phantom(24)
+        hi = hand_phantom(48)
+        # same world-space structure: density at center comparable
+        assert lo.data[12, 12, 12] == pytest.approx(hi.data[24, 24, 24], rel=0.3)
+
+
+class TestLungPhantom:
+    def test_vessels_are_ridges(self):
+        img = lung_phantom(32, n_vessels=4, seed=3)
+        lines = lung_vessel_centerlines(32, n_vessels=4, seed=3, samples=50)
+        F = convolve(img, bspln3)
+        hits = 0
+        for line in lines:
+            for p in line[10:40:5]:
+                if not F.inside(p):
+                    continue
+                hits += 1
+                center = float(F.probe(p))
+                # off-center (perpendicular) samples are dimmer
+                for off in (np.array([1.5, 0, 0]), np.array([0, 1.5, 0])):
+                    assert float(F.probe(p + off)) < center + 40.0
+        assert hits > 10
+
+    def test_deterministic(self):
+        a = lung_phantom(24, seed=9)
+        b = lung_phantom(24, seed=9)
+        assert np.array_equal(a.data, b.data)
+        c = lung_phantom(24, seed=10)
+        assert not np.array_equal(a.data, c.data)
+
+
+class TestVectorField:
+    def test_curl_and_divergence(self):
+        img = vector_field_2d(48, vortex=1.0, saddle=0.25)
+        V = convolve(img, ctmr)
+        p = np.array([[0.1, -0.2]])
+        # analytic: curl = 2*vortex, div = 0 everywhere
+        assert float(V.curl(p)[0]) == pytest.approx(2.0, abs=1e-6)
+        assert float(V.divergence(p)[0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_center_is_stagnation_point(self):
+        img = vector_field_2d(33)
+        V = convolve(img, ctmr)
+        v = V.probe(np.array([[0.0, 0.0]]))[0]
+        assert np.allclose(v, 0.0, atol=1e-10)
+
+
+class TestNoise:
+    def test_range_and_determinism(self):
+        n = noise_texture(16, seed=5)
+        assert n.data.min() >= 0.0 and n.data.max() < 1.0
+        assert np.array_equal(n.data, noise_texture(16, seed=5).data)
+
+
+class TestPortrait:
+    def test_isovalues_present(self):
+        img = portrait_phantom(64)
+        # all three of Figure 7's isovalues must be crossed
+        assert img.data.max() > 50.0
+        assert img.data.min() < 10.0
+        for iso in (10.0, 30.0, 50.0):
+            assert np.any(img.data > iso) and np.any(img.data < iso)
+
+    def test_smooth(self):
+        img = portrait_phantom(64)
+        grad = np.abs(np.diff(img.data, axis=0)).max()
+        assert grad < 10.0  # no pixel-to-pixel jumps

@@ -1,0 +1,405 @@
+"""Tests for the type checker (paper §3.4, Figure 2; §5.1)."""
+
+import pytest
+
+from repro.core.syntax import parse_program
+from repro.core.ty import check_program
+from repro.core.ty.types import BOOL, FieldTy, INT, REAL, TensorTy
+from repro.errors import TypeErrorD
+
+
+def check(src: str):
+    return check_program(parse_program(src))
+
+
+def check_fails(src: str, pattern: str):
+    with pytest.raises(TypeErrorD, match=pattern):
+        check(src)
+
+
+def wrap(update_body: str, state: str = "output real x = 0.0;", globs: str = "") -> str:
+    return f"""
+        {globs}
+        strand S (int i) {{
+            {state}
+            update {{ {update_body} }}
+        }}
+        initially [ S(i) | i in 0 .. 9 ];
+    """
+
+
+FIELD_GLOBALS = """
+    image(3)[] img = load("a.nrrd");
+    field#2(3)[] F = img ⊛ bspln3;
+"""
+
+
+class TestFieldTyping:
+    """The typing judgments of Figure 2."""
+
+    def test_convolution_type(self):
+        tp = check(wrap("stabilize;", globs=FIELD_GLOBALS))
+        # F : field#2(3)[] — checked implicitly by acceptance; make explicit:
+        src = FIELD_GLOBALS + wrap("x = F([0.0,0.0,0.0]); stabilize;")
+        check(src)
+
+    def test_convolution_continuity_mismatch(self):
+        check_fails(
+            "image(3)[] img = load(\"a.nrrd\");\nfield#1(3)[] F = img ⊛ bspln3;"
+            + wrap("stabilize;"),
+            "declared field#1",
+        )
+
+    def test_gradient_raises_order_lowers_continuity(self):
+        # ∇F : field#1(3)[3]; ∇⊗∇F : field#0(3)[3,3]
+        src = FIELD_GLOBALS + """
+            field#1(3)[3] G = ∇F;
+            field#0(3)[3,3] H = ∇⊗G;
+        """ + wrap("stabilize;")
+        check(src)
+
+    def test_cannot_differentiate_c0(self):
+        check_fails(
+            'image(3)[] img = load("a.nrrd");\nfield#0(3)[] F = img ⊛ tent;\n'
+            "field#0(3)[3] G = ∇F;" + wrap("stabilize;"),
+            "cannot differentiate",
+        )
+
+    def test_nabla_requires_scalar_field(self):
+        check_fails(
+            'image(2)[2] img = load("a.nrrd");\nfield#1(2)[2] V = img ⊛ ctmr;\n'
+            "field#0(2)[2] G = ∇V;" + wrap("stabilize;"),
+            "no instance",
+        )
+
+    def test_nabla_otimes_requires_nonscalar(self):
+        check_fails(
+            FIELD_GLOBALS + "field#1(3)[3] G = ∇⊗F;" + wrap("stabilize;"),
+            "no instance",
+        )
+
+    def test_probe_types(self):
+        src = FIELD_GLOBALS + wrap(
+            "vec3 p = [0.0,0.0,0.0]; x = F(p); vec3 g = ∇F(p); stabilize;"
+        )
+        check(src)
+
+    def test_probe_wrong_position_dim(self):
+        check_fails(
+            FIELD_GLOBALS + wrap("x = F([0.0, 0.0]); stabilize;"),
+            "must be tensor",
+        )
+
+    def test_probe_non_field(self):
+        check_fails(wrap("x = x(1.0); stabilize;"), "cannot be applied")
+
+    def test_inside(self):
+        check(FIELD_GLOBALS + wrap(
+            "if (inside([0.0,0.0,0.0], F)) x = 1.0; stabilize;"
+        ))
+
+    def test_field_arithmetic(self):
+        src = FIELD_GLOBALS + """
+            field#2(3)[] G = F + F;
+            field#2(3)[] H = 2.0 * F;
+            field#2(3)[] K = F / 2.0;
+            field#2(3)[] M = -F;
+        """ + wrap("stabilize;")
+        check(src)
+
+    def test_field_sum_continuity_is_min(self):
+        src = FIELD_GLOBALS + """
+            field#1(3)[] F1 = img ⊛ ctmr;
+            field#1(3)[] G = F + F1;
+        """ + wrap("stabilize;")
+        check(src)
+
+    def test_divergence_and_curl_extensions(self):
+        src = """
+            image(2)[2] v = load("v.nrrd");
+            field#1(2)[2] V = v ⊛ ctmr;
+            field#0(2)[] D = ∇•V;
+            field#0(2)[] C = ∇×V;
+        """ + wrap("stabilize;")
+        check(src)
+
+    def test_load_only_in_globals(self):
+        check_fails(wrap('x = 1.0; image(3)[] i2 = load("b.nrrd"); stabilize;'),
+                    "global section")
+
+    def test_kernel_convolve_either_order(self):
+        check('field#1(2)[] f = ctmr ⊛ load("d.nrrd");' + wrap("stabilize;"))
+        check('field#1(2)[] f = load("d.nrrd") ⊛ ctmr;' + wrap("stabilize;"))
+
+
+class TestOperators:
+    def test_arithmetic_overloads(self):
+        check(wrap("int n = 1 + 2 * 3; x = 1.0 + 2.0; stabilize;"))
+
+    def test_no_implicit_int_to_real(self):
+        check_fails(wrap("x = 1 + 2.0; stabilize;"), "no instance")
+
+    def test_explicit_cast(self):
+        check(wrap("x = real(1) + 2.0; stabilize;"))
+
+    def test_tensor_ops(self):
+        body = """
+            vec3 u = [1.0, 0.0, 0.0];
+            vec3 v = [0.0, 1.0, 0.0];
+            x = u • v;
+            vec3 w = u × v;
+            tensor[3,3] m = u ⊗ v;
+            x = |u| + trace(m) + det(m);
+            vec3 n = normalize(u);
+            vec3 lam = evals(m);
+            tensor[3,3] e = evecs(m);
+            stabilize;
+        """
+        check(wrap(body))
+
+    def test_matrix_vector_dot(self):
+        check(wrap("tensor[3,3] m = identity[3]; vec3 u = [1.0,0.0,0.0];"
+                   " vec3 v = m • u; stabilize;"))
+
+    def test_cross_2d_is_scalar(self):
+        check(wrap("vec2 a = [1.0,0.0]; vec2 b = [0.0,1.0]; x = a × b; stabilize;"))
+
+    def test_shape_mismatch(self):
+        check_fails(
+            wrap("vec3 u = [1.0,0.0,0.0]; vec2 v = [0.0,1.0]; x = u • v; stabilize;"),
+            "no instance",
+        )
+
+    def test_vector_addition_shapes_must_match(self):
+        check_fails(
+            wrap("vec3 u = [1.0,0.0,0.0]; vec2 v = [0.0,1.0]; vec3 w = u + v; stabilize;"),
+            "no instance",
+        )
+
+    def test_logical_ops_need_bool(self):
+        check_fails(wrap("if (1 && true) x = 1.0; stabilize;"), "no instance")
+
+    def test_comparison_type(self):
+        check(wrap("if (1 < 2 && 1.0 >= 0.5) x = 1.0; stabilize;"))
+
+    def test_norm_of_int_rejected(self):
+        check_fails(wrap("int n = 3; x = |n|; stabilize;"), "not defined")
+
+    def test_pow(self):
+        check(wrap("x = 2.0^3 + 2.0^0.5; stabilize;"))
+
+    def test_string_equality(self):
+        # strings exist as a type; == is defined on them
+        check(wrap("stabilize;"))
+
+
+class TestTensorConstruction:
+    def test_nested_matrix(self):
+        check(wrap("tensor[2,2] m = [[1.0, 0.0], [0.0, 1.0]]; stabilize;"))
+
+    def test_element_mismatch(self):
+        check_fails(wrap("vec2 v = [1.0, 2]; stabilize;"), "disagree")
+
+    def test_index_result_types(self):
+        body = """
+            tensor[3,3] m = identity[3];
+            vec3 row = m[0];
+            x = m[0, 1];
+            stabilize;
+        """
+        check(wrap(body))
+
+    def test_index_out_of_range(self):
+        check_fails(
+            wrap("tensor[2,2] m = identity[2]; x = m[2, 0]; stabilize;"),
+            "out of range",
+        )
+
+    def test_too_many_indices(self):
+        check_fails(
+            wrap("vec2 v = [1.0, 2.0]; x = v[0, 1]; stabilize;"),
+            "too many indices",
+        )
+
+    def test_shape_entry_must_be_ge2(self):
+        check_fails(wrap("tensor[1] v = [1.0]; stabilize;"), ">= 2")
+
+
+class TestStructure:
+    def test_assign_to_global_rejected(self):
+        check_fails(
+            wrap("g = 2.0; stabilize;", globs="input real g = 1.0;"),
+            "cannot assign to global",
+        )
+
+    def test_assign_to_param_rejected(self):
+        check_fails(wrap("i = 2; stabilize;"), "cannot assign to param")
+
+    def test_assign_to_iterator_rejected(self):
+        # iterator only in scope inside initially, so this is 'undefined'
+        check_fails(wrap("q = 2; stabilize;"), "undefined")
+
+    def test_state_mutable(self):
+        check(wrap("x = 1.0; x += 2.0; stabilize;"))
+
+    def test_compound_assign_type(self):
+        check_fails(wrap("x += 1; stabilize;"), "no instance")
+
+    def test_local_scoping(self):
+        check_fails(wrap("{ real v = 1.0; } x = v; stabilize;"), "undefined")
+
+    def test_shadowing_rejected(self):
+        check_fails(wrap("real x = 1.0; stabilize;"), "redefinition")
+
+    def test_branch_local_scoping(self):
+        check_fails(
+            wrap("if (true) { real v = 1.0; } x = v; stabilize;"),
+            "undefined",
+        )
+
+    def test_conditional_branch_types_must_match(self):
+        check_fails(wrap("x = 1.0 if true else 2; stabilize;"), "disagree")
+
+    def test_conditional_needs_bool(self):
+        check_fails(wrap("x = 1.0 if 3 else 2.0; stabilize;"), "must be bool")
+
+    def test_if_needs_bool(self):
+        check_fails(wrap("if (1) x = 1.0; stabilize;"), "must be bool")
+
+    def test_no_output_rejected(self):
+        check_fails(
+            wrap("stabilize;", state="real x = 0.0;"),
+            "no output variables",
+        )
+
+    def test_output_in_stabilize_method_ok(self):
+        check("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+                stabilize { x = 1.0; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """)
+
+    def test_die_outside_update_rejected(self):
+        check_fails("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+                stabilize { die; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """, "only allowed inside the update")
+
+    def test_input_must_be_concrete(self):
+        check_fails(
+            wrap("stabilize;", globs="input field#1(2)[] F;"),
+            "concrete types",
+        )
+
+    def test_state_must_be_concrete(self):
+        check_fails(
+            FIELD_GLOBALS + wrap("stabilize;", state="output real x = 0.0;\n field#2(3)[] G = F;"),
+            "concrete",
+        )
+
+    def test_param_must_be_concrete(self):
+        check_fails("""
+            strand S (field#1(2)[] f) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(f) | f in 0 .. 9 ];
+        """, "concrete type")
+
+    def test_undefined_variable(self):
+        check_fails(wrap("x = y; stabilize;"), "undefined variable")
+
+    def test_undefined_function(self):
+        check_fails(wrap("x = frobnicate(1.0); stabilize;"), "undefined function")
+
+    def test_kernel_names_predefined(self):
+        check('field#2(2)[] f = load("a.nrrd") ⊛ bspln3;' + wrap("stabilize;"))
+
+    def test_duplicate_method(self):
+        check_fails("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """, "duplicate method")
+
+
+class TestInitially:
+    def test_wrong_strand_name(self):
+        check_fails("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ T(i) | i in 0 .. 9 ];
+        """, "defines strand")
+
+    def test_arity_mismatch(self):
+        check_fails("""
+            strand S (int i, int j) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """, "takes 2 arguments")
+
+    def test_argument_type_mismatch(self):
+        check_fails("""
+            strand S (vec2 p) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 9 ];
+        """, "expected tensor")
+
+    def test_bounds_must_be_int(self):
+        check_fails("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0.5 .. 9 ];
+        """, "must be int")
+
+    def test_duplicate_iterator(self):
+        check_fails("""
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 4, i in 0 .. 4 ];
+        """, "duplicate iterator")
+
+    def test_bounds_may_reference_globals(self):
+        check("""
+            input int n = 10;
+            strand S (int i) {
+                output real x = 0.0;
+                update { stabilize; }
+            }
+            initially [ S(i) | i in 0 .. n-1 ];
+        """)
+
+
+class TestTypeAnnotations:
+    def test_nodes_annotated(self):
+        tp = check(FIELD_GLOBALS + wrap("x = F([0.0,0.0,0.0]); stabilize;"))
+        update = tp.program.strand.method("update")
+        assign = update.body.stmts[0]
+        assert assign.value.ty == REAL
+
+    def test_symbol_tables(self):
+        tp = check(wrap("stabilize;", globs="input int n = 3; real m = 2.0;"))
+        assert tp.inputs == ["n"]
+        assert tp.global_order == ["n", "m"]
+        assert tp.outputs == ["x"]
+        assert isinstance(tp.globals["n"].ty, type(INT))

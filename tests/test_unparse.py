@@ -1,0 +1,93 @@
+"""Tests for the pretty-printer (round-trip with the parser)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.syntax import ast, parse_program
+from repro.core.syntax.unparse import unparse, unparse_expr
+from repro.core.ty import check_program
+from repro.programs import ALL
+
+
+def _unwrap(s):
+    """Strip singleton Block wrappers (the unparser emits explicit braces
+    around single-statement branches to avoid dangling-else ambiguity)."""
+    while isinstance(s, ast.Block) and len(s.stmts) == 1:
+        s = s.stmts[0]
+    return s
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality, ignoring spans, type annotations, and
+    singleton block wrappers."""
+    if isinstance(a, ast.Stmt) or isinstance(b, ast.Stmt):
+        a = _unwrap(a)
+        b = _unwrap(b)
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Node):
+        for f in dataclasses.fields(a):
+            if f.name == "span":
+                continue
+            if not ast_equal(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    if isinstance(a, list):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", list(ALL))
+    def test_benchmark_programs_roundtrip(self, name):
+        prog = parse_program(ALL[name].SOURCE)
+        text = unparse(prog)
+        reparsed = parse_program(text)
+        assert ast_equal(prog, reparsed), text
+
+    def test_roundtrip_is_stable(self):
+        prog = parse_program(ALL["vr-lite"].SOURCE)
+        once = unparse(prog)
+        twice = unparse(parse_program(once))
+        assert once == twice
+
+    def test_unparsed_program_still_typechecks(self):
+        prog = parse_program(ALL["ridge3d"].SOURCE)
+        check_program(parse_program(unparse(prog)))
+
+
+class TestExpressions:
+    def _rt(self, src: str) -> str:
+        from repro.core.syntax.parser import Parser
+
+        e = Parser(src).parse_expr()
+        return unparse_expr(e)
+
+    def test_precedence_preserved(self):
+        for src in [
+            "(a + b) * c",
+            "a + b * c",
+            "-a • b",
+            "a if c else b if d else e",
+            "|a + b|",
+            "∇F(pos)",
+            "∇⊗∇F(pos)",
+            "m[1, 2]",
+            "identity[3]",
+            "(F1 if b else F2)(x)",
+        ]:
+            from repro.core.syntax.parser import Parser
+
+            original = Parser(src).parse_expr()
+            reparsed = Parser(self._rt(src)).parse_expr()
+            assert ast_equal(original, reparsed), (src, self._rt(src))
+
+    def test_string_escapes(self):
+        assert self._rt('"a\\"b"') == '"a\\"b"'
+
+    def test_norm_text(self):
+        assert self._rt("|u|") == "|u|"
+
+    def test_load_text(self):
+        assert self._rt('load("f.nrrd")') == 'load("f.nrrd")'
