@@ -15,9 +15,9 @@ in the sweet band for its workloads.
 
 from __future__ import annotations
 
-import pytest
 from conftest import SCALE, record
 
+from repro.obs import Tracer
 from repro.programs import lic2d
 from repro.runtime.simsched import speedup_curve
 
@@ -35,9 +35,11 @@ def test_blocksize_ablation(benchmark):
     for bs in BLOCK_SIZES:
         prog = lic2d.make_program(precision="single", scale=res / 250.0,
                                   field_size=64)
-        result = prog.run(block_size=bs, collect_trace=True)
-        speedups[bs] = speedup_curve(result.block_trace, [8], LOCK_OVERHEAD)[8]
-        seq_times[bs] = sum(sum(step) for step in result.block_trace)
+        tracer = Tracer()
+        prog.run(block_size=bs, tracer=tracer)
+        trace = tracer.block_step_times()
+        speedups[bs] = speedup_curve(trace, [8], LOCK_OVERHEAD)[8]
+        seq_times[bs] = sum(sum(step) for step in trace)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     n = res * res

@@ -17,9 +17,9 @@ fewer blocks → a starved work-list).
 
 from __future__ import annotations
 
-import pytest
 from conftest import SCALE, record
 
+from repro.obs import Tracer
 from repro.programs import illust_vr, lic2d, ridge3d, vr_lite
 from repro.runtime.simsched import speedup_curve
 
@@ -44,9 +44,10 @@ def test_figure12_speedup_curves(benchmark):
     curves = {}
     strands = {}
     for name, prog in progs.items():
-        result = prog.run(block_size=256, collect_trace=True)
+        tracer = Tracer()
+        result = prog.run(block_size=256, tracer=tracer)
         strands[name] = result.num_strands
-        curves[name] = speedup_curve(result.block_trace, WORKERS)
+        curves[name] = speedup_curve(tracer, WORKERS)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     print("\n\nFigure 12 — simulated parallel speedup (single precision)")

@@ -29,6 +29,7 @@ from repro.baselines import lic2d as b_lic
 from repro.baselines import ridge3d as b_ridge
 from repro.baselines import vr_lite as b_vr
 from repro.data import hand_phantom, lung_phantom, noise_texture, vector_field_2d
+from repro.obs import Tracer
 from repro.programs import illust_vr as p_ivr
 from repro.programs import lic2d as p_lic
 from repro.programs import ridge3d as p_ridge
@@ -129,11 +130,12 @@ def test_table2_row(benchmark, name):
         block = max(64, n_strands // 128)
         import time as _t
 
+        tracer = Tracer()
         t1 = _t.perf_counter()
-        result = prog.run(block_size=block, collect_trace=True)
+        prog.run(block_size=block, tracer=tracer)
         times[precision] = _t.perf_counter() - t1
         if precision == "single":
-            trace = result.block_trace
+            trace = tracer.block_step_times()
     # satisfy pytest-benchmark's fixture-use requirement without re-running
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 

@@ -9,32 +9,28 @@ setting of input variables" (§3.3.1) and its runtime writes program output
                                     [--workers N] [--block-size N]
                                     [--out PREFIX] [--text]
                                     [--emit-python] [--stats]
+                                    [--trace FILE.json] [--profile]
 
 Each output variable is written to ``PREFIX-<name>.nrrd`` (or ``.txt``
-with ``--text``).
+with ``--text``).  ``--trace`` writes a Chrome trace-event JSON file
+(loadable in Perfetto / ``chrome://tracing``) covering both the compiler
+passes and the runtime's super-steps/blocks; ``--profile`` prints the
+same data as a summary table.  Setting ``REPRO_TRACE=FILE.json`` in the
+environment is equivalent to ``--trace FILE.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from repro.core.driver import compile_file
 from repro.errors import DiderotError
-
-
-def _parse_value(text: str):
-    text = text.strip()
-    if text in ("true", "false"):
-        return text == "true"
-    if text.startswith("["):
-        return [float(x) for x in text.strip("[]").split(",")]
-    try:
-        return int(text)
-    except ValueError:
-        return float(text)
+from repro.inputs import parse_value
+from repro.obs import Tracer, format_summary, write_chrome_trace
 
 
 def _write_text(prefix: str, name: str, arr: np.ndarray) -> str:
@@ -61,10 +57,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="print the generated NumPy code and exit")
     ap.add_argument("--stats", action="store_true",
                     help="print compiler statistics")
+    ap.add_argument("--trace", metavar="FILE",
+                    default=os.environ.get("REPRO_TRACE") or None,
+                    help="write a Chrome trace-event JSON file covering "
+                         "compile and run (also via REPRO_TRACE=FILE)")
+    ap.add_argument("--profile", action="store_true",
+                    help="print a compiler-pass / super-step profile summary")
     args = ap.parse_args(argv)
 
+    tracer = Tracer() if (args.trace or args.profile) else None
+
     try:
-        prog = compile_file(args.program, precision=args.precision)
+        prog = compile_file(args.program, precision=args.precision, tracer=tracer)
     except (DiderotError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -88,7 +92,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         name, _, value = setting.partition("=")
         try:
-            prog.set_input(name.strip(), _parse_value(value))
+            prog.set_input(name.strip(), parse_value(value))
         except DiderotError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -98,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             block_size=args.block_size,
             max_steps=args.max_steps,
+            tracer=tracer,
         )
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -108,6 +113,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{result.num_stable} stable, {result.num_died} died, "
         f"{result.wall_time:.2f}s"
     )
+    status = 0
+    if args.trace:
+        try:
+            write_chrome_trace(tracer, args.trace)
+            print(f"wrote trace {args.trace}")
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            status = 1
+    if args.profile:
+        print(format_summary(tracer))
     if args.text:
         paths = [
             _write_text(args.out, name, arr)
@@ -117,7 +133,7 @@ def main(argv: list[str] | None = None) -> int:
         paths = result.save(args.out)
     for path, arr in zip(paths, result.outputs.values()):
         print(f"wrote {path}  shape={tuple(arr.shape)}")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -14,11 +14,10 @@ a NumPy array with one leading lane axis (or an unbatched constant), and
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
-from repro.core.ir.base import Body, Func, IfRegion, Instr, Value
+from repro.core.ir.base import Body, Func, Instr
 from repro.core.ty.types import INT, TensorTy
 from repro.core.xform.to_high import HighProgram
 from repro.errors import CompileError
@@ -190,9 +189,9 @@ def compile_high(source: str, optimize=None) -> HighProgram:
     opts = optimize or OptOptions()
     typed = check_program(parse_program(source))
     hp = HighBuilder(typed).build()
-    removed: dict = {}
     from repro.core.ir import ops as irops
+    from repro.obs import NULL_TRACER
 
     for fn in HighBuilder.all_funcs(hp):
-        _optimize(fn, irops.HIGH, opts, removed)
+        _optimize(fn, irops.HIGH, opts, NULL_TRACER, "high")
     return hp

@@ -6,6 +6,11 @@ value numbering → MidIR (probe synthesis) → contraction + value numbering
 → LowIR (kernel expansion) → contraction + value numbering → Python/NumPy
 code generation.
 
+Every stage is traced (one ``cat="pass"`` span per pass, carrying IR
+instruction counts and value-numbering removal counts), so
+:class:`CompileStats` is a *view* over the trace — pass a
+:class:`repro.obs.Tracer` to see the same spans alongside the runtime's.
+
 Optimizations can be disabled individually (``optimize=...``) to support
 the ablation benchmarks.
 """
@@ -26,6 +31,7 @@ from repro.core.xform.to_low import to_low
 from repro.core.xform.to_mid import to_mid
 from repro.core.xform.value_numbering import value_number
 from repro.errors import CompileError
+from repro.obs import Tracer
 
 
 @dataclass
@@ -39,7 +45,12 @@ class OptOptions:
 @dataclass
 class CompileStats:
     """Per-function instruction counts across the pipeline, for the
-    §5.4 optimization ablations."""
+    §5.4 optimization ablations.
+
+    Built from the compile trace (:meth:`from_trace`); the driver emits
+    an ``instr-count`` instant after each IR stage and a ``removed`` count
+    on every value-numbering pass span.
+    """
 
     high_instrs: dict[str, int] = field(default_factory=dict)
     mid_instrs: dict[str, int] = field(default_factory=dict)
@@ -47,44 +58,82 @@ class CompileStats:
     low_instrs: dict[str, int] = field(default_factory=dict)
     vn_removed: dict[str, int] = field(default_factory=dict)
 
+    @classmethod
+    def from_trace(cls, events) -> "CompileStats":
+        """Aggregate a trace's compile events into the stats tables."""
+        stats = cls()
+        tables = {
+            "high": stats.high_instrs,
+            "mid": stats.mid_instrs,
+            "mid-unopt": stats.mid_instrs_unopt,
+            "low": stats.low_instrs,
+        }
+        for ev in events:
+            if ev.cat == "count" and ev.name == "instr-count":
+                table = tables.get(ev.args["ir"])
+                if table is not None:
+                    table[ev.args["func"]] = ev.args["value"]
+            elif ev.cat == "pass" and ev.name == "value-numbering":
+                fn = ev.args.get("func")
+                if fn is not None:
+                    stats.vn_removed[fn] = (
+                        stats.vn_removed.get(fn, 0) + ev.args.get("removed", 0)
+                    )
+        return stats
+
 
 def _count(func) -> int:
     return sum(1 for _ in func.body.instructions())
 
 
-def _optimize(func, vocab, opts: OptOptions, stats_removed: dict) -> None:
+def _optimize(func, vocab, opts: OptOptions, tracer, ir: str) -> None:
     if opts.contraction:
-        contract(func, vocab)
+        with tracer.span("contraction", cat="pass", func=func.name, ir=ir):
+            contract(func, vocab)
     if opts.value_numbering:
-        removed = value_number(func)
-        stats_removed[func.name] = stats_removed.get(func.name, 0) + removed
+        with tracer.span("value-numbering", cat="pass", func=func.name, ir=ir) as sp:
+            sp.set("removed", value_number(func))
     if opts.contraction:
-        contract(func, vocab)
+        with tracer.span("contraction", cat="pass", func=func.name, ir=ir):
+            contract(func, vocab)
 
 
 def compile_to_source(
     source: str,
     optimize: OptOptions | None = None,
+    tracer=None,
 ) -> tuple[str, HighProgram, CompileStats]:
-    """Compile Diderot source to generated Python source + metadata."""
+    """Compile Diderot source to generated Python source + metadata.
+
+    ``tracer`` receives one span per compiler pass; when omitted (or
+    disabled) an internal tracer collects the same events so the returned
+    :class:`CompileStats` is always populated.
+    """
     opts = optimize or OptOptions()
-    prog = parse_program(source)
-    typed = check_program(prog)
-    hp = HighBuilder(typed).build()
-    stats = CompileStats()
+    tr = tracer if (tracer is not None and tracer.enabled) else Tracer()
+    with tr.span("parse", cat="pass"):
+        prog = parse_program(source)
+    with tr.span("typecheck", cat="pass"):
+        typed = check_program(prog)
+    with tr.span("highir", cat="pass"):
+        hp = HighBuilder(typed, tracer=tr).build()
     funcs = HighBuilder.all_funcs(hp)
     for fn in funcs:
-        stats.high_instrs[fn.name] = _count(fn)
-        _optimize(fn, irops.HIGH, opts, stats.vn_removed)
-        to_mid(fn, hp.images)
-        stats.mid_instrs_unopt[fn.name] = _count(fn)
-        _optimize(fn, irops.MID, opts, stats.vn_removed)
-        stats.mid_instrs[fn.name] = _count(fn)
-        to_low(fn)
-        _optimize(fn, irops.LOW, opts, stats.vn_removed)
-        stats.low_instrs[fn.name] = _count(fn)
-    source_out = generate_module(funcs)
-    return source_out, hp, stats
+        tr.instant("instr-count", cat="count", func=fn.name, ir="high", value=_count(fn))
+        _optimize(fn, irops.HIGH, opts, tr, "high")
+        with tr.span("midir", cat="pass", func=fn.name):
+            to_mid(fn, hp.images)
+        tr.instant("instr-count", cat="count", func=fn.name, ir="mid-unopt",
+                   value=_count(fn))
+        _optimize(fn, irops.MID, opts, tr, "mid")
+        tr.instant("instr-count", cat="count", func=fn.name, ir="mid", value=_count(fn))
+        with tr.span("lowir", cat="pass", func=fn.name):
+            to_low(fn)
+        _optimize(fn, irops.LOW, opts, tr, "low")
+        tr.instant("instr-count", cat="count", func=fn.name, ir="low", value=_count(fn))
+    with tr.span("codegen", cat="pass"):
+        source_out = generate_module(funcs)
+    return source_out, hp, CompileStats.from_trace(tr.events)
 
 
 def compile_program(
@@ -92,6 +141,7 @@ def compile_program(
     precision: str = "double",
     optimize: OptOptions | None = None,
     search_path: str = ".",
+    tracer=None,
 ):
     """Compile Diderot source text into a runnable Program.
 
@@ -107,13 +157,17 @@ def compile_program(
         Optimization toggles; defaults to everything on.
     search_path:
         Directory against which ``load(...)`` paths resolve.
+    tracer:
+        Optional :class:`repro.obs.Tracer` that receives the compiler-pass
+        spans (pass the same tracer to :meth:`Program.run
+        <repro.runtime.program.Program.run>` for one unified timeline).
     """
     from repro.runtime.program import Program
 
     if precision not in ("single", "double"):
         raise CompileError(f"precision must be 'single' or 'double', got {precision!r}")
     dtype = np.float32 if precision == "single" else np.float64
-    gen_source, hp, stats = compile_to_source(source, optimize)
+    gen_source, hp, stats = compile_to_source(source, optimize, tracer=tracer)
     namespace = load_module(gen_source)
     return Program(
         high=hp,

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from repro.core.syntax import ast
 from repro.core.syntax.lexer import tokenize
-from repro.core.syntax.source import Span
 from repro.core.syntax.tokens import KEYWORDS, T, Token
 from repro.errors import SyntaxErrorD
 

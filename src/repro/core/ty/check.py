@@ -12,7 +12,7 @@ section, state variables mutable only within methods, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.syntax import ast

@@ -15,7 +15,7 @@ import math
 
 import numpy as np
 
-from repro.core.ir.base import Body, Func, IfRegion, Instr, Phi, Value
+from repro.core.ir.base import Body, Func, Instr, Value
 from repro.core.ty.types import INT
 from repro.runtime import ops as rt
 

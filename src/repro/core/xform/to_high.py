@@ -19,10 +19,10 @@ The output is one SSA :class:`~repro.core.ir.base.Func` per program piece:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.ir.base import Body, Func, IfRegion, Instr, Phi, Value
+from repro.core.ir.base import Body, Func, IfRegion, Phi, Value
 from repro.core.ir import ops as irops
 from repro.core.simple import (
     RUNNING,
@@ -111,9 +111,12 @@ _CMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
 
 
 class HighBuilder:
-    def __init__(self, typed: TypedProgram, check: bool = True):
+    def __init__(self, typed: TypedProgram, check: bool = True, tracer=None):
+        from repro.obs import NULL_TRACER
+
         self.typed = typed
         self.check = check
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.images: dict[str, ImageSlot] = {}
         self.fields: dict[str, nf.SymField] = {}
         self.kernels: dict[str, Kernel] = dict(KERNELS)
@@ -362,7 +365,8 @@ class HighBuilder:
 
     def build_method(self, prog: ast.Program, mname: str) -> Func:
         method = prog.strand.method(mname)
-        body_ast = simplify_method(method.body, is_update=(mname == "update"))
+        with self.tracer.span("simplify", cat="pass", func=mname):
+            body_ast = simplify_method(method.body, is_update=(mname == "update"))
         body = Body()
         env: dict[str, Value] = {}
         params, names = self._global_params(env)

@@ -24,11 +24,10 @@ position share everything up to the weights.
 
 from __future__ import annotations
 
-from repro.core.ir.base import Body, Func, IfRegion, Instr, Value
+from repro.core.ir.base import Body, Func, Instr, Value
 from repro.core.ir import ops as irops
 from repro.core.ty.types import BOOL, TensorTy
-from repro.core.xform.to_high import HighProgram, ImageSlot
-from repro.errors import CompileError
+from repro.core.xform.to_high import ImageSlot
 
 
 def _combos(dim: int, deriv: int) -> list[tuple[int, ...]]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.ir.base import Body, Func, IfRegion, Instr, Value
+from repro.core.ir.base import Body, Func, Instr, Value
 from repro.kernels import Kernel
 
 #: ops whose two arguments commute (sorted for hashing)

@@ -1,0 +1,49 @@
+"""Parsing of input-variable values given as command-line text.
+
+The compiler "synthesizes glue code that allows command-line setting of
+input variables" (paper §3.3.1).  Both of our command-line surfaces —
+``python -m repro --input name=value`` and the synthesized
+:meth:`Program.cli <repro.runtime.program.Program.cli>` — accept the same
+textual forms, parsed here:
+
+* ``true`` / ``false`` — booleans
+* ``[a,b,c]`` — tensors (a list of reals)
+* ``42`` — integers
+* ``1.5``, ``1e-3`` — reals
+"""
+
+from __future__ import annotations
+
+from repro.errors import InputError
+
+
+def parse_value(text: str):
+    """Parse one input value from its command-line spelling.
+
+    Raises :class:`~repro.errors.InputError` on text that parses as none
+    of the accepted forms.
+    """
+    text = text.strip()
+    if text in ("true", "false"):
+        return text == "true"
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise InputError(f"unterminated vector literal {text!r}")
+        body = text[1:-1].strip()
+        if not body:
+            raise InputError(f"empty vector literal {text!r}")
+        try:
+            return [float(part) for part in body.split(",")]
+        except ValueError as exc:
+            raise InputError(f"bad vector component in {text!r}: {exc}") from exc
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise InputError(
+            f"cannot parse input value {text!r} (expected bool, int, "
+            "real, or [a,b,...])"
+        ) from exc

@@ -83,7 +83,8 @@ def read_nrrd_header(path: str) -> tuple[dict, int]:
     return fields, offset
 
 
-def _decode(buf: bytes, encoding: str, dtype: np.dtype, count: int) -> np.ndarray:
+def _decode(buf: bytes, encoding: str, dtype: np.dtype, count: int,
+            path: str = "<data>") -> np.ndarray:
     if encoding in ("raw",):
         usable = (len(buf) // dtype.itemsize) * dtype.itemsize
         return np.frombuffer(buf[:usable], dtype=dtype)
@@ -91,12 +92,12 @@ def _decode(buf: bytes, encoding: str, dtype: np.dtype, count: int) -> np.ndarra
         try:
             raw = gzip.decompress(buf)
         except (OSError, zlib.error) as exc:
-            raise NrrdError(f"bad gzip data in NRRD: {exc}") from exc
+            raise NrrdError(f"{path}: bad gzip data in NRRD: {exc}") from exc
         usable = (len(raw) // dtype.itemsize) * dtype.itemsize
         return np.frombuffer(raw[:usable], dtype=dtype)
     if encoding in ("ascii", "txt", "text"):
         return np.array(buf.decode("ascii").split(), dtype=dtype)[:count]
-    raise NrrdError(f"unsupported NRRD encoding {encoding!r}")
+    raise NrrdError(f"{path}: unsupported NRRD encoding {encoding!r}")
 
 
 def read_nrrd(path: str, dtype=np.float64) -> Image:
@@ -133,6 +134,7 @@ def read_nrrd(path: str, dtype=np.float64) -> Image:
         count *= s
 
     datafile = fields.get("data file") or fields.get("datafile")
+    data_path = path
     if datafile:
         data_path = os.path.join(os.path.dirname(os.path.abspath(path)), datafile)
         with open(data_path, "rb") as fp:
@@ -149,7 +151,7 @@ def read_nrrd(path: str, dtype=np.float64) -> Image:
         if bskip:
             buf = buf[bskip:]
 
-    flat = _decode(buf, encoding, file_dtype, count)
+    flat = _decode(buf, encoding, file_dtype, count, path=data_path)
     if flat.size < count:
         raise NrrdError(
             f"{path}: expected {count} samples, found {flat.size}"

@@ -1,0 +1,32 @@
+"""Observability: tracing, metrics, and profiling (`repro.obs`).
+
+A unified layer over the measurements the paper's evaluation (§6) relies
+on: per-compiler-pass timing and instruction counts, and per-super-step /
+per-block runtime timing with worker attribution.
+
+* :mod:`repro.obs.tracer` — the thread-safe collector: spans, counters,
+  and gauges, with a zero-allocation disabled mode (:data:`NULL_TRACER`);
+* :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (loadable
+  in Perfetto / ``chrome://tracing``) and a human-readable summary table.
+
+Activation surfaces:
+
+* ``python -m repro PROG --trace out.json`` / ``--profile``
+* ``Program.run(..., tracer=Tracer(...))`` with optional ``on_pass`` /
+  ``on_superstep`` callbacks
+* the ``REPRO_TRACE=out.json`` environment variable
+"""
+
+from repro.obs.export import chrome_trace, format_summary, write_chrome_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanEvent, Tracer, tracer_from_env
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace",
+    "format_summary",
+    "tracer_from_env",
+    "write_chrome_trace",
+]

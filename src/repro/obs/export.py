@@ -1,0 +1,151 @@
+"""Trace exporters: Chrome trace-event JSON and a summary table.
+
+The Chrome exporter emits the `trace-event format`__ consumed by Perfetto
+and ``chrome://tracing``: one ``"X"`` (complete) event per span, ``"i"``
+instants, ``"C"`` counter samples, and ``"M"`` metadata events naming the
+worker threads.  Timestamps are microseconds from the tracer's epoch.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+The summary exporter (:func:`format_summary`, the CLI's ``--profile``)
+renders three tables: compiler passes, per-function instruction counts,
+and runtime super-steps with per-worker utilization.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def chrome_trace(tracer) -> dict:
+    """Render a tracer's events as a Chrome trace-event JSON object."""
+    tids: dict[str, int] = {}
+    out: list[dict] = []
+    for ev in tracer.events:
+        if ev.tid not in tids:
+            tids[ev.tid] = len(tids) + 1
+    for label, tid in tids.items():
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+            "args": {"name": label},
+        })
+    for ev in tracer.events:
+        rec = {
+            "name": ev.name,
+            "cat": ev.cat or "repro",
+            "ph": ev.ph,
+            "ts": ev.ts * 1e6,
+            "pid": 1,
+            "tid": tids[ev.tid],
+            "args": ev.args,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur * 1e6
+        elif ev.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        out.append(rec)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path: str) -> str:
+    """Write the Chrome trace-event JSON file; returns the path."""
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(chrome_trace(tracer), fp, default=float)
+    return path
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _pass_table(tracer) -> list[str]:
+    order: list[str] = []
+    total: dict[str, float] = {}
+    count: dict[str, int] = {}
+    for ev in tracer.spans("pass"):
+        if ev.name not in total:
+            order.append(ev.name)
+            total[ev.name] = 0.0
+            count[ev.name] = 0
+        total[ev.name] += ev.dur
+        count[ev.name] += 1
+    if not order:
+        return []
+    lines = ["compiler passes:", f"  {'pass':<18}{'calls':>6}{'time':>10}"]
+    for name in order:
+        lines.append(f"  {name:<18}{count[name]:>6}{_fmt_time(total[name]):>10}")
+    lines.append(f"  {'total':<18}{'':>6}{_fmt_time(sum(total.values())):>10}")
+    return lines
+
+
+def _instr_table(tracer) -> list[str]:
+    counts: dict[str, dict[str, int]] = {}
+    removed: dict[str, int] = {}
+    for ev in tracer.events:
+        if ev.name == "instr-count" and ev.cat == "count":
+            counts.setdefault(ev.args["func"], {})[ev.args["ir"]] = ev.args["value"]
+        elif ev.name == "value-numbering" and ev.cat == "pass":
+            fn = ev.args.get("func")
+            removed[fn] = removed.get(fn, 0) + ev.args.get("removed", 0)
+    if not counts:
+        return []
+    lines = ["instruction counts (HighIR → MidIR → LowIR):",
+             f"  {'function':<12}{'high':>6}{'mid':>6}{'low':>6}{'VN-removed':>12}"]
+    for fn, c in counts.items():
+        lines.append(
+            f"  {fn:<12}{c.get('high', 0):>6}{c.get('mid', 0):>6}"
+            f"{c.get('low', 0):>6}{removed.get(fn, 0):>12}"
+        )
+    return lines
+
+
+def _superstep_table(tracer) -> list[str]:
+    steps = tracer.spans("superstep")
+    if not steps:
+        return []
+    lines = ["super-steps:",
+             f"  {'step':>4}{'time':>10}{'blocks':>8}{'active':>8}"
+             f"{'stable':>8}{'died':>8}"]
+    for ev in steps:
+        a = ev.args
+        lines.append(
+            f"  {a.get('step', 0):>4}{_fmt_time(ev.dur):>10}{a.get('blocks', 0):>8}"
+            f"{a.get('active', 0):>8}{a.get('stable', 0):>8}{a.get('died', 0):>8}"
+        )
+    return lines
+
+
+def _worker_table(tracer) -> list[str]:
+    blocks = tracer.spans("block")
+    if not blocks:
+        return []
+    busy: dict[str, float] = {}
+    n: dict[str, int] = {}
+    for ev in blocks:
+        busy[ev.tid] = busy.get(ev.tid, 0.0) + ev.dur
+        n[ev.tid] = n.get(ev.tid, 0) + 1
+    span_total = sum(ev.dur for ev in tracer.spans("superstep"))
+    lines = ["workers:",
+             f"  {'worker':<16}{'blocks':>8}{'busy':>10}{'util':>7}"]
+    for tid in sorted(busy):
+        util = busy[tid] / span_total if span_total > 0 else 0.0
+        lines.append(
+            f"  {tid:<16}{n[tid]:>8}{_fmt_time(busy[tid]):>10}{util:>6.0%}"
+        )
+    return lines
+
+
+def format_summary(tracer) -> str:
+    """Human-readable profile of everything the tracer collected."""
+    sections = [
+        _pass_table(tracer),
+        _instr_table(tracer),
+        _superstep_table(tracer),
+        _worker_table(tracer),
+    ]
+    body = "\n\n".join("\n".join(s) for s in sections if s)
+    return body if body else "(no trace events collected)"

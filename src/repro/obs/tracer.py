@@ -1,0 +1,253 @@
+"""The trace collector: spans, counters, and gauges.
+
+The collector is deliberately small: a :class:`Tracer` accumulates
+:class:`SpanEvent` records (append-only, behind a lock, so compiler code
+and scheduler worker threads can share one tracer), and everything else —
+Chrome JSON, summary tables, ``CompileStats``, the simulated scheduler's
+block traces — is a *view* over that event list.
+
+Disabled mode is :data:`NULL_TRACER`, whose ``span()`` returns one shared
+no-op context manager: no span objects are allocated on the hot path, and
+instrumented code can additionally guard per-block work with
+``if tracer.enabled:`` so a disabled run does no extra work at all.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """One recorded event.
+
+    ``ts`` and ``dur`` are seconds relative to the tracer's epoch; ``ph``
+    follows the Chrome trace-event phase letters: ``"X"`` for a complete
+    span, ``"i"`` for an instant, ``"C"`` for a counter sample.
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    tid: str
+    ph: str = "X"
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+class _Span:
+    """An open span; records itself into the tracer on ``__exit__``.
+
+    ``set(key, value)`` attaches metadata that is only known once the
+    spanned work has run (instruction counts, strand tallies, ...).
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "tid", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, tid: str | None, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.args = args
+        self._t0 = 0.0
+
+    def set(self, key: str, value) -> None:
+        self.args[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        self._tracer.complete(
+            self.name, self.cat, self._t0, t1 - self._t0, tid=self.tid, **self.args
+        )
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe span/counter/gauge collector.
+
+    Parameters
+    ----------
+    on_pass:
+        Called with the :class:`SpanEvent` each time a compiler-pass span
+        (``cat == "pass"``) completes.
+    on_superstep:
+        Called with the :class:`SpanEvent` each time a runtime super-step
+        span (``cat == "superstep"``) completes.
+    """
+
+    enabled = True
+
+    def __init__(self, on_pass=None, on_superstep=None):
+        self._lock = threading.Lock()
+        self.epoch = time.perf_counter()
+        self.events: list[SpanEvent] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.on_pass = on_pass
+        self.on_superstep = on_superstep
+
+    # -- recording ---------------------------------------------------------
+
+    def _tid(self) -> str:
+        return threading.current_thread().name
+
+    def _append(self, ev: SpanEvent) -> None:
+        with self._lock:
+            self.events.append(ev)
+        if ev.cat == "pass" and self.on_pass is not None:
+            self.on_pass(ev)
+        elif ev.cat == "superstep" and self.on_superstep is not None:
+            self.on_superstep(ev)
+
+    def span(self, name: str, cat: str = "", tid: str | None = None, **args) -> _Span:
+        """Open a span as a context manager; recorded when it closes."""
+        return _Span(self, name, cat, tid, args)
+
+    def complete(self, name: str, cat: str, start: float, dur: float,
+                 tid: str | None = None, **args) -> None:
+        """Record an already-measured interval.
+
+        ``start`` is an absolute ``time.perf_counter()`` value; callers
+        that time work themselves (the schedulers) use this instead of
+        :meth:`span` so tracing reuses their existing measurements.
+        """
+        self._append(SpanEvent(name, cat, start - self.epoch, dur,
+                               tid or self._tid(), "X", args))
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        """Record a zero-duration marker (e.g. an instruction count)."""
+        self._append(SpanEvent(name, cat, time.perf_counter() - self.epoch,
+                               0.0, self._tid(), "i", args))
+
+    def counter(self, name: str, delta: float = 1.0) -> float:
+        """Accumulate ``delta`` into a named counter; returns the total."""
+        with self._lock:
+            total = self.counters.get(name, 0.0) + delta
+            self.counters[name] = total
+        self._append(SpanEvent(name, "counter", time.perf_counter() - self.epoch,
+                               0.0, self._tid(), "C", {"value": total}))
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a named gauge to its latest value."""
+        with self._lock:
+            self.gauges[name] = value
+        self._append(SpanEvent(name, "gauge", time.perf_counter() - self.epoch,
+                               0.0, self._tid(), "C", {"value": value}))
+
+    # -- views -------------------------------------------------------------
+
+    def spans(self, cat: str | None = None) -> list[SpanEvent]:
+        """The complete ("X") events, optionally filtered by category."""
+        return [ev for ev in self.events
+                if ev.ph == "X" and (cat is None or ev.cat == cat)]
+
+    def block_step_times(self) -> list[list[float]]:
+        """Per-super-step lists of per-block durations (seconds).
+
+        This is the input the simulated multicore scheduler
+        (:mod:`repro.runtime.simsched`) replays; blocks are ordered by
+        their work-list index within each step, regardless of the order
+        worker threads finished them in.
+        """
+        steps: dict[int, list[tuple[int, float]]] = {}
+        for ev in self.events:
+            if ev.cat == "block" and ev.ph == "X":
+                steps.setdefault(ev.args["step"], []).append(
+                    (ev.args.get("block", 0), ev.dur)
+                )
+        return [[dur for _, dur in sorted(steps[s])] for s in sorted(steps)]
+
+    def block_workers(self) -> list[list[str]]:
+        """Per-super-step lists of the worker label that ran each block."""
+        steps: dict[int, list[tuple[int, str]]] = {}
+        for ev in self.events:
+            if ev.cat == "block" and ev.ph == "X":
+                steps.setdefault(ev.args["step"], []).append(
+                    (ev.args.get("block", 0), ev.tid)
+                )
+        return [[tid for _, tid in sorted(steps[s])] for s in sorted(steps)]
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` returns one shared context manager, so the instrumented
+    hot paths allocate nothing when tracing is off.
+    """
+
+    enabled = False
+    events: tuple = ()
+    counters: dict = {}
+    gauges: dict = {}
+
+    def span(self, name: str, cat: str = "", tid: str | None = None, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def complete(self, name: str, cat: str, start: float, dur: float,
+                 tid: str | None = None, **args) -> None:
+        pass
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        pass
+
+    def counter(self, name: str, delta: float = 1.0) -> float:
+        return 0.0
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def spans(self, cat: str | None = None) -> list:
+        return []
+
+    def block_step_times(self) -> list:
+        return []
+
+    def block_workers(self) -> list:
+        return []
+
+
+#: the shared disabled tracer — use this instead of ``None`` checks
+NULL_TRACER = NullTracer()
+
+
+def tracer_from_env(env: str = "REPRO_TRACE") -> tuple[Tracer | None, str | None]:
+    """Build a tracer if the activation env var names a trace-output path.
+
+    Returns ``(tracer, path)`` — both ``None`` when the variable is unset
+    or empty.
+    """
+    path = os.environ.get(env)
+    if not path:
+        return None, None
+    return Tracer(), path

@@ -14,8 +14,9 @@ input variables" (§3.3.1) — see :meth:`Program.cli`.
 from __future__ import annotations
 
 import os
+import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.core.xform.to_high import HighProgram
 from repro.errors import InputError, RuntimeErrorD
 from repro.image import Image
 from repro.nrrd import read_nrrd
+from repro.obs import NULL_TRACER, tracer_from_env, write_chrome_trace
 from repro.runtime.scheduler import (
     SequentialScheduler,
     ThreadScheduler,
@@ -46,10 +48,6 @@ class RunResult:
     num_stable: int
     num_died: int
     wall_time: float
-    #: per-super-step list of per-block execution times (seconds), only
-    #: populated when ``collect_trace=True`` — feeds the simulated
-    #: multicore scheduler (DESIGN.md).
-    block_trace: list[list[float]] = field(default_factory=list)
     #: True when the program used a grid comprehension (outputs keep the
     #: grid's shape); False for collections
     grid: bool = True
@@ -221,14 +219,28 @@ class Program:
         workers: int = 1,
         block_size: int = DEFAULT_BLOCK_SIZE,
         max_steps: int | None = None,
-        collect_trace: bool = False,
+        tracer=None,
     ) -> RunResult:
         """Execute the program to completion.
 
         ``workers > 1`` uses the thread-pool scheduler with a shared,
         lock-protected work-list of strand blocks (paper §5.5);
         ``workers == 1`` runs the sequential loop nest.
+
+        ``tracer`` is an optional :class:`repro.obs.Tracer`: each
+        super-step becomes a span carrying active/stable/died strand
+        counts, with per-block child spans attributed to the worker
+        thread that ran them; its ``on_superstep`` callback fires as each
+        step completes.  When no tracer is passed and the ``REPRO_TRACE``
+        environment variable names a path, a tracer is created and a
+        Chrome trace-event file is written there after the run.  With
+        tracing off the hot path allocates no span objects.
         """
+        env_trace_path = None
+        if tracer is None:
+            tracer, env_trace_path = tracer_from_env()
+        tr = tracer if tracer is not None else NULL_TRACER
+
         ctx = self._context()
         g = self._globals_tuple(ctx)
         ns = self.namespace
@@ -284,14 +296,19 @@ class Program:
             else ThreadScheduler(workers)
         )
 
+        if tr.enabled:
+            tr.complete("setup", "run", t0, time.perf_counter() - t0,
+                        strands=total)
+
         update = ns["update"]
         stabilize_fn = ns.get("stabilize")
         steps = 0
-        trace: list[list[float]] = []
         active_idx = np.arange(total, dtype=np.int64)
         while active_idx.size:
             if max_steps is not None and steps >= max_steps:
                 break
+            step_t0 = time.perf_counter() if tr.enabled else 0.0
+            active_before = int(active_idx.size)
             blocks = make_blocks(active_idx, block_size)
 
             def run_block(block_idx: np.ndarray) -> tuple[np.ndarray, tuple]:
@@ -299,9 +316,9 @@ class Program:
                 out = update(ctx, *g, *block_state)
                 return block_idx, out
 
-            results, times = scheduler.run_step(blocks, run_block)
-            if collect_trace:
-                trace.append(times)
+            results, times = scheduler.run_step(
+                blocks, run_block, tracer=tr, step=steps
+            )
             newly_stable_all = []
             for block_idx, out in results:
                 *new_state, block_status = out
@@ -317,7 +334,18 @@ class Program:
                 new_state = stabilize_fn(ctx, *g, *block_state)
                 for s_arr, new in zip(state, new_state):
                     s_arr[stable_idx] = new
+            if tr.enabled:
+                step_stable = int(np.sum(status[active_idx] == STABILIZE))
+                step_died = int(np.sum(status[active_idx] == DIE))
+                tr.complete(
+                    "superstep", "superstep", step_t0,
+                    time.perf_counter() - step_t0,
+                    step=steps, blocks=len(blocks), active=active_before,
+                    stable=step_stable, died=step_died,
+                )
             active_idx = active_idx[status[active_idx] == RUNNING]
+            if tr.enabled:
+                tr.gauge("active-strands", int(active_idx.size))
             steps += 1
 
         wall = time.perf_counter() - t0
@@ -334,6 +362,17 @@ class Program:
             keep = status == STABILIZE
             for out in self.high.outputs:
                 outputs[out] = name_to_arr[out][keep]
+        if tr.enabled:
+            tr.complete("run", "run", t0, wall, workers=workers,
+                        block_size=block_size, steps=steps, strands=total,
+                        stable=n_stable, died=n_died)
+        if env_trace_path is not None:
+            try:
+                write_chrome_trace(tr, env_trace_path)
+            except OSError as exc:
+                # a bad REPRO_TRACE path must not destroy a finished run
+                print(f"warning: cannot write trace {env_trace_path}: {exc}",
+                      file=sys.stderr)
         return RunResult(
             outputs=outputs,
             steps=steps,
@@ -341,7 +380,6 @@ class Program:
             num_stable=n_stable,
             num_died=n_died,
             wall_time=wall,
-            block_trace=trace,
             grid=self.high.grid,
             grid_dims=len(self.high.iter_names),
         )
@@ -352,22 +390,35 @@ class Program:
         """Parse ``--name value`` arguments for each input, then run.
 
         This is the "glue code that allows command-line setting of input
-        variables" the compiler synthesizes in the paper.
+        variables" the compiler synthesizes in the paper.  Values use the
+        shared textual forms of :func:`repro.inputs.parse_value`;
+        ``--trace FILE`` and ``--profile`` expose the runtime's tracing.
         """
         import argparse
+
+        from repro.inputs import parse_value
+        from repro.obs import Tracer, format_summary
 
         parser = argparse.ArgumentParser(description="Diderot program")
         for name in self.high.input_names:
             parser.add_argument(f"--{name}", type=str, default=None)
         parser.add_argument("--workers", type=int, default=1)
         parser.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+        parser.add_argument("--trace", metavar="FILE",
+                            default=os.environ.get("REPRO_TRACE") or None,
+                            help="write a Chrome trace-event JSON file")
+        parser.add_argument("--profile", action="store_true",
+                            help="print a super-step/worker profile summary")
         args = parser.parse_args(argv)
         for name in self.high.input_names:
             raw = getattr(args, name)
             if raw is not None:
-                if raw.startswith("["):
-                    value = [float(x) for x in raw.strip("[]").split(",")]
-                else:
-                    value = float(raw) if ("." in raw or "e" in raw) else int(raw)
-                self.set_input(name, value)
-        return self.run(workers=args.workers, block_size=args.block_size)
+                self.set_input(name, parse_value(raw))
+        tracer = Tracer() if (args.trace or args.profile) else None
+        result = self.run(workers=args.workers, block_size=args.block_size,
+                          tracer=tracer)
+        if args.trace:
+            write_chrome_trace(tracer, args.trace)
+        if args.profile:
+            print(format_summary(tracer))
+        return result

@@ -12,9 +12,12 @@ end of a super step."
 
 Both schedulers execute one *super-step* when called: they are handed the
 list of strand blocks and a function that updates one block, and they
-return the per-block results plus per-block wall-clock times (the raw
+return the per-block results plus per-block wall-clock times.  When a
+:class:`repro.obs.Tracer` is passed, each block is additionally recorded
+as a ``cat="block"`` span attributed to the worker that ran it (the raw
 material for the simulated-multicore analysis in
-:mod:`repro.runtime.simsched`).
+:mod:`repro.runtime.simsched` and the per-worker utilization table);
+``last_block_workers`` records which worker ran each block.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ import threading
 import time
 
 import numpy as np
+
+from repro.obs import NULL_TRACER
 
 
 def make_blocks(active_idx: np.ndarray, block_size: int) -> list[np.ndarray]:
@@ -38,60 +43,83 @@ def make_blocks(active_idx: np.ndarray, block_size: int) -> list[np.ndarray]:
 class SequentialScheduler:
     """The sequential loop nest: one block after another."""
 
-    def run_step(self, blocks, run_block):
+    def __init__(self):
+        self.last_block_workers: list[int] = []
+
+    def run_step(self, blocks, run_block, tracer=NULL_TRACER, step=0):
         results = []
         times = []
-        for block in blocks:
+        for i, block in enumerate(blocks):
             t0 = time.perf_counter()
             results.append(run_block(block))
-            times.append(time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            times.append(dt)
+            if tracer.enabled:
+                tracer.complete("block", "block", t0, dt, tid="worker-0",
+                                step=step, block=i, strands=int(len(block)))
+        self.last_block_workers = [0] * len(blocks)
         return results, times
 
 
 class ThreadScheduler:
     """Worker threads pulling blocks from a lock-protected work-list.
 
-    This is a direct port of the paper's runtime structure.  (CPython's
-    GIL limits the speedup NumPy-bound workers can realize; the simulated
-    scheduler in :mod:`repro.runtime.simsched` reproduces the paper's
-    scaling results from measured block costs — see DESIGN.md.)
+    This is a direct port of the paper's runtime structure.  The shared
+    work-list is a plain index into the block list, advanced under the
+    lock — an O(1) grab, keeping the critical section as cheap as the
+    paper assumes (§5.5/§6.4).  (CPython's GIL limits the speedup
+    NumPy-bound workers can realize; the simulated scheduler in
+    :mod:`repro.runtime.simsched` reproduces the paper's scaling results
+    from measured block costs — see DESIGN.md.)
     """
 
     def __init__(self, workers: int):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
+        self.last_block_workers: list[int] = []
 
-    def run_step(self, blocks, run_block):
-        work = list(enumerate(blocks))
+    def run_step(self, blocks, run_block, tracer=NULL_TRACER, step=0):
+        n = len(blocks)
         lock = threading.Lock()
-        results: list = [None] * len(blocks)
-        times: list = [0.0] * len(blocks)
+        next_block = [0]  # the work-list cursor, guarded by `lock`
+        results: list = [None] * n
+        times: list = [0.0] * n
+        block_workers: list = [-1] * n
         errors: list = []
 
-        def worker() -> None:
+        def worker(wid: int) -> None:
+            label = f"worker-{wid}"
             while True:
                 with lock:  # the work-list lock the paper discusses (§6.4)
-                    if not work:
+                    i = next_block[0]
+                    if i >= n:
                         return
-                    i, block = work.pop(0)
+                    next_block[0] = i + 1
                 try:
                     t0 = time.perf_counter()
-                    results[i] = run_block(block)
-                    times[i] = time.perf_counter() - t0
+                    results[i] = run_block(blocks[i])
+                    dt = time.perf_counter() - t0
+                    times[i] = dt
+                    block_workers[i] = wid
+                    if tracer.enabled:
+                        tracer.complete("block", "block", t0, dt, tid=label,
+                                        step=step, block=i,
+                                        strands=int(len(blocks[i])))
                 except BaseException as exc:  # propagate after the barrier
                     with lock:
                         errors.append(exc)
                     return
 
         threads = [
-            threading.Thread(target=worker, name=f"diderot-worker-{i}")
-            for i in range(min(self.workers, max(1, len(blocks))))
+            threading.Thread(target=worker, args=(i,), name=f"diderot-worker-{i}")
+            for i in range(min(self.workers, max(1, n)))
         ]
         for t in threads:
             t.start()
         for t in threads:  # barrier at the end of the super-step
             t.join()
+        self.last_block_workers = block_workers
         if errors:
             raise errors[0]
         return results, times

@@ -3,10 +3,15 @@
 The paper's parallel results (Table 2's 1P/2P/8P columns, Figure 12) were
 measured on an 8-core Xeon; this reproduction runs in a 1-core container.
 We therefore *measure* the real cost of every strand block in a sequential
-run (``collect_trace=True``) and replay the per-super-step block trace
+run (``Program.run(..., tracer=Tracer())`` — the scheduler records one
+``cat="block"`` span per block) and replay the per-super-step block trace
 through a discrete simulation of the paper's scheduler: N workers pulling
 blocks from a central work-list whose lock costs ``lock_overhead`` seconds
 per acquisition, with a barrier at the end of each super-step.
+
+Every entry point accepts either a :class:`repro.obs.Tracer` (the block
+spans are extracted via ``Tracer.block_step_times()``) or a raw
+``list[list[float]]`` of per-step block durations.
 
 The simulation can only redistribute measured work, never shrink it, so
 speedups are bounded by the real block-level parallelism — which is
@@ -35,6 +40,12 @@ class SimResult:
     workers: int
 
 
+def as_block_trace(trace) -> list[list[float]]:
+    """Normalize a trace argument: a Tracer, or per-step duration lists."""
+    method = getattr(trace, "block_step_times", None)
+    return method() if callable(method) else trace
+
+
 def simulate_step(block_times: list[float], workers: int, lock_overhead: float) -> float:
     """Makespan of one super-step under greedy work-list scheduling.
 
@@ -56,17 +67,18 @@ def simulate_step(block_times: list[float], workers: int, lock_overhead: float) 
 
 
 def simulate_run(
-    block_trace: list[list[float]],
+    block_trace,
     workers: int,
     lock_overhead: float = DEFAULT_LOCK_OVERHEAD,
 ) -> SimResult:
     """Simulate a whole run (a barrier separates the super-steps)."""
-    per_step = [simulate_step(step, workers, lock_overhead) for step in block_trace]
+    trace = as_block_trace(block_trace)
+    per_step = [simulate_step(step, workers, lock_overhead) for step in trace]
     return SimResult(sum(per_step), per_step, workers)
 
 
 def speedup_curve(
-    block_trace: list[list[float]],
+    block_trace,
     worker_counts: list[int],
     lock_overhead: float = DEFAULT_LOCK_OVERHEAD,
 ) -> dict[int, float]:
@@ -76,8 +88,9 @@ def speedup_curve(
     block costs plus lock overhead), matching the paper's use of the
     sequential time as the reference.
     """
-    base = simulate_run(block_trace, 1, lock_overhead).total_time
+    trace = as_block_trace(block_trace)
+    base = simulate_run(trace, 1, lock_overhead).total_time
     return {
-        w: base / simulate_run(block_trace, w, lock_overhead).total_time
+        w: base / simulate_run(trace, w, lock_overhead).total_time
         for w in worker_counts
     }

@@ -107,6 +107,90 @@ class TestCli:
         img = read_nrrd(f"{out_prefix}-v.nrrd")
         assert img.sizes == (8, 8)
 
+    def test_unparseable_input_value(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--input", "scale=zork"])
+        assert code == 1
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_trace_flag_writes_chrome_json(self, workspace):
+        import json
+
+        trace_path = workspace / "t.json"
+        code = main([str(workspace / "prog.diderot"),
+                     "--trace", str(trace_path),
+                     "--out", str(workspace / "tr")])
+        assert code == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        # compiler-pass spans and runtime spans share one timeline
+        assert {"parse", "typecheck", "codegen", "superstep", "block"} <= names
+
+    def test_profile_flag_prints_summary(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--profile",
+                     "--out", str(workspace / "pf")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compiler passes" in out
+        assert "super-steps" in out
+        assert "workers" in out
+
+    def test_repro_trace_env_var(self, workspace, monkeypatch):
+        import json
+
+        trace_path = workspace / "env.json"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        code = main([str(workspace / "prog.diderot"),
+                     "--out", str(workspace / "ev")])
+        assert code == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert any(e["name"] == "superstep" for e in doc["traceEvents"])
+
+
+class TestParseValue:
+    """The shared input-value parser (used by ``--input`` and
+    ``Program.cli``)."""
+
+    def test_forms(self):
+        from repro.inputs import parse_value
+
+        assert parse_value("true") is True
+        assert parse_value("false") is False
+        assert parse_value("42") == 42 and isinstance(parse_value("42"), int)
+        assert parse_value("1.5") == 1.5
+        assert parse_value("1e-3") == pytest.approx(1e-3)
+        assert parse_value("[1, 2.5, 3]") == [1.0, 2.5, 3.0]
+        assert parse_value("  7 ") == 7
+
+    def test_errors(self):
+        from repro.errors import InputError
+        from repro.inputs import parse_value
+
+        for bad in ("zork", "[1, 2", "[]", "[a,b]"):
+            with pytest.raises(InputError):
+                parse_value(bad)
+
+    def test_program_cli_uses_shared_parser(self, workspace, monkeypatch):
+        from repro.core.driver import compile_file
+
+        monkeypatch.chdir(workspace)
+        prog = compile_file(str(workspace / "prog.diderot"))
+        res = prog.cli(["--scale", "2.0", "--res", "4"])
+        assert res.num_strands == 16
+        assert res.outputs["v"][1, 1] == pytest.approx(2.0 * 9.0)
+
+    def test_program_cli_trace_and_profile(self, workspace, capsys, monkeypatch):
+        import json
+
+        from repro.core.driver import compile_file
+
+        monkeypatch.chdir(workspace)
+        prog = compile_file(str(workspace / "prog.diderot"))
+        trace_path = workspace / "cli.json"
+        prog.cli(["--res", "4", "--trace", str(trace_path), "--profile"])
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert any(e["name"] == "superstep" for e in doc["traceEvents"])
+        assert "super-steps" in capsys.readouterr().out
+
 
 class TestStandalonePrograms:
     """The .diderot files under examples/programs/ compile via the CLI."""

@@ -1,7 +1,6 @@
 """Tests for contraction (constant folding + DCE, paper §5.4)."""
 
 import numpy as np
-import pytest
 
 from repro.core.ir import ops as irops
 from repro.core.ir.base import Body, Func, IfRegion, Phi, Value
@@ -173,7 +172,7 @@ class TestDeadCode:
 
     def test_empty_if_removed(self):
         body = Body()
-        c = body.emit("const", [], BOOL, value=True)  # becomes dead too
+        body.emit("const", [], BOOL, value=True)  # becomes dead too
         inner = Body()
         inner.emit("const", [], REAL, value=1.0)  # dead
         body.add(IfRegion(Value(BOOL), inner, Body(), []))
@@ -184,11 +183,7 @@ class TestDeadCode:
         assert not any(isinstance(i, IfRegion) for i in fn.body.items)
 
     def test_live_if_cond_kept(self):
-        body = Body()
         c = Value(BOOL)
-        then_b = Body()
-        t = then_b.emit("neg", [Value(REAL)], REAL)  # uses a ghost — keep simple
-        # rebuild properly: use a parameter
         body2 = Body()
         x = Value(REAL)
         then_b2 = Body()

@@ -8,7 +8,6 @@ whole lowering half of the compiler.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import illust_vr as b_ivr
 from repro.baselines import lic2d as b_lic

@@ -4,7 +4,6 @@ import importlib
 import os
 import sys
 
-import pytest
 
 EXAMPLES = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"

@@ -18,7 +18,6 @@ from __future__ import annotations
 import random
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -178,7 +177,6 @@ def interp_run(src: str) -> dict[str, np.ndarray]:
             s = s.copy()
         state.append(s)
     status = np.zeros(N_STRANDS, dtype=np.int64)
-    names = hp.update_func.result_names
     for _ in range(100):
         active = np.flatnonzero(status == 0)
         if active.size == 0:

@@ -1,7 +1,6 @@
 """Tests for the lowering passes: probe synthesis (to_mid) and kernel
 expansion (to_low) — paper §5.3."""
 
-import pytest
 
 from repro.core.codegen.interp import compile_high
 from repro.core.ir import ops as irops
@@ -9,7 +8,7 @@ from repro.core.ir.base import validate
 from repro.core.xform.to_low import to_low
 from repro.core.xform.to_mid import to_mid
 from repro.core.xform.to_mid import _combos
-from repro.kernels import bspln3, ctmr, tent
+from repro.kernels import bspln3, ctmr
 
 
 def ops_of(fn):

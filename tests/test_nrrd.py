@@ -226,6 +226,18 @@ class TestErrors:
         with pytest.raises(NrrdError, match="gzip"):
             read_nrrd(path)
 
+    def test_bad_gzip_error_names_file(self, tmp_path):
+        """Diagnosing a corrupted payload needs the offending path (the
+        seed data files shipped with a mangled gzip magic byte)."""
+        path = str(tmp_path / "mangled.nrrd")
+        with open(path, "wb") as fp:
+            fp.write(
+                b"NRRD0001\ntype: float\ndimension: 1\nsizes: 1\n"
+                b"endian: little\nencoding: gzip\n\n\x1f\x08\x00corrupt"
+            )
+        with pytest.raises(NrrdError, match="mangled.nrrd"):
+            read_nrrd(path)
+
     def test_sizes_dimension_mismatch(self, tmp_path):
         path = str(tmp_path / "s.nrrd")
         with open(path, "wb") as fp:

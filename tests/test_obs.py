@@ -1,0 +1,245 @@
+"""Tests for the observability layer (repro.obs): tracer, exporters,
+CLI wiring, and the compile-stats trace view."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.driver import CompileStats, OptOptions, compile_program, compile_to_source
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace,
+    format_summary,
+    tracer_from_env,
+    write_chrome_trace,
+)
+from repro.runtime.simsched import as_block_trace, simulate_run
+
+SRC = """
+    strand S (int i) {
+        output real x = 0.0;
+        update { x += 1.0; if (x > 2.5) stabilize; }
+    }
+    initially [ S(i) | i in 0 .. 99 ];
+"""
+
+
+class TestTracerSpans:
+    def test_span_records_duration(self):
+        tr = Tracer()
+        with tr.span("work", cat="test"):
+            time.sleep(0.002)
+        (ev,) = tr.spans("test")
+        assert ev.name == "work"
+        assert ev.dur >= 0.002
+
+    def test_span_nesting(self):
+        """A child span's interval lies within its parent's."""
+        tr = Tracer()
+        with tr.span("parent", cat="test"):
+            with tr.span("child", cat="test"):
+                time.sleep(0.001)
+        child, parent = tr.spans("test")  # children close (record) first
+        assert child.name == "child" and parent.name == "parent"
+        assert parent.ts <= child.ts
+        assert child.end <= parent.end + 1e-9
+        assert child.tid == parent.tid
+
+    def test_span_set_attaches_args(self):
+        tr = Tracer()
+        with tr.span("p", cat="pass") as sp:
+            sp.set("removed", 7)
+        assert tr.spans("pass")[0].args["removed"] == 7
+
+    def test_span_records_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("p", cat="pass"):
+                raise ValueError("boom")
+        assert len(tr.spans("pass")) == 1
+
+    def test_counters_accumulate(self):
+        tr = Tracer()
+        tr.counter("bytes", 10)
+        tr.counter("bytes", 5)
+        assert tr.counters["bytes"] == 15
+
+    def test_gauge_keeps_latest(self):
+        tr = Tracer()
+        tr.gauge("active", 100)
+        tr.gauge("active", 40)
+        assert tr.gauges["active"] == 40
+
+    def test_threaded_appends_are_complete(self):
+        import threading
+
+        tr = Tracer()
+
+        def spam(k):
+            for i in range(50):
+                tr.instant("tick", cat="t", k=k, i=i)
+
+        threads = [threading.Thread(target=spam, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len([e for e in tr.events if e.cat == "t"]) == 200
+
+
+class TestDisabledMode:
+    def test_null_span_is_shared(self):
+        """Disabled tracing allocates no span objects on the hot path."""
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", cat="c", x=1)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("a") as sp:
+            sp.set("k", 1)
+        NULL_TRACER.instant("i")
+        assert NULL_TRACER.counter("c", 5) == 0.0
+        NULL_TRACER.gauge("g", 1)
+        assert NULL_TRACER.events == ()
+        assert NULL_TRACER.block_step_times() == []
+        assert not NULL_TRACER.enabled
+
+    def test_run_without_tracer_collects_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        res = compile_program(SRC).run(block_size=16)
+        assert res.steps == 3  # runs normally; nothing to trace into
+
+
+class TestHooks:
+    def test_on_pass_fires_per_compiler_pass(self):
+        seen = []
+        tr = Tracer(on_pass=lambda ev: seen.append(ev.name))
+        compile_to_source(SRC, tracer=tr)
+        for name in ("parse", "typecheck", "simplify", "highir",
+                     "contraction", "value-numbering", "midir", "lowir",
+                     "codegen"):
+            assert name in seen
+
+    def test_on_superstep_fires_per_step(self):
+        seen = []
+        tr = Tracer(on_superstep=lambda ev: seen.append(ev.args["step"]))
+        compile_program(SRC).run(block_size=16, tracer=tr)
+        assert seen == [0, 1, 2]
+
+
+class TestCompileStatsView:
+    def test_stats_built_from_trace(self):
+        tr = Tracer()
+        _, _, stats = compile_to_source(SRC, tracer=tr)
+        rebuilt = CompileStats.from_trace(tr.events)
+        assert rebuilt == stats
+        assert stats.high_instrs["update"] > 0
+        assert stats.low_instrs["update"] >= stats.mid_instrs["update"]
+
+    def test_stats_without_vn(self):
+        tr = Tracer()
+        _, _, stats = compile_to_source(
+            SRC, OptOptions(value_numbering=False), tracer=tr
+        )
+        assert stats.vn_removed == {}
+        assert tr.spans("pass")
+        assert "value-numbering" not in {ev.name for ev in tr.spans("pass")}
+
+
+class TestBlockStepTimes:
+    def test_grouped_and_ordered_by_block(self):
+        tr = Tracer()
+        # record out of completion order: block 1 before block 0
+        tr.complete("block", "block", tr.epoch + 0.2, 0.02, tid="worker-1",
+                    step=0, block=1)
+        tr.complete("block", "block", tr.epoch + 0.1, 0.01, tid="worker-0",
+                    step=0, block=0)
+        tr.complete("block", "block", tr.epoch + 0.3, 0.03, tid="worker-0",
+                    step=1, block=0)
+        assert tr.block_step_times() == [[0.01, 0.02], [0.03]]
+        assert tr.block_workers() == [["worker-0", "worker-1"], ["worker-0"]]
+
+    def test_simsched_accepts_tracer(self):
+        tr = Tracer()
+        prog = compile_program(SRC)
+        prog.run(block_size=16, tracer=tr)
+        sim = simulate_run(tr, workers=2)
+        assert len(sim.per_step) == 3
+        assert sim.total_time > 0
+        assert as_block_trace([[1.0]]) == [[1.0]]
+
+
+class TestChromeExport:
+    def test_round_trip(self, tmp_path):
+        tr = Tracer()
+        prog = compile_program(SRC, tracer=tr)
+        prog.run(block_size=16, workers=2, tracer=tr)
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tr, path)
+        with open(path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"X", "M"} <= phases
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"parse", "typecheck", "codegen", "superstep", "block"} <= names
+        for e in events:
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+        # thread metadata names every tid used by an event
+        tids = {e["tid"] for e in events if e["ph"] != "M"}
+        named = {e["tid"] for e in events if e["ph"] == "M"}
+        assert tids <= named
+
+    def test_worker_attribution_in_export(self):
+        tr = Tracer()
+        compile_program(SRC).run(block_size=8, workers=2, tracer=tr)
+        doc = chrome_trace(tr)
+        tid_names = {e["tid"]: e["args"]["name"] for e in doc["traceEvents"]
+                     if e["ph"] == "M"}
+        block_tids = {tid_names[e["tid"]] for e in doc["traceEvents"]
+                      if e.get("cat") == "block"}
+        assert block_tids <= {f"worker-{i}" for i in range(2)}
+        assert block_tids  # at least one worker ran blocks
+
+
+class TestSummary:
+    def test_summary_sections(self):
+        tr = Tracer()
+        prog = compile_program(SRC, tracer=tr)
+        prog.run(block_size=16, tracer=tr)
+        text = format_summary(tr)
+        assert "compiler passes" in text
+        assert "instruction counts" in text
+        assert "super-steps" in text
+        assert "workers" in text
+        assert "worker-0" in text
+
+    def test_empty_tracer_summary(self):
+        assert "no trace events" in format_summary(Tracer())
+
+
+class TestEnvActivation:
+    def test_tracer_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.json"))
+        tr, path = tracer_from_env()
+        assert tr is not None and tr.enabled
+        assert path == str(tmp_path / "t.json")
+        monkeypatch.delenv("REPRO_TRACE")
+        assert tracer_from_env() == (None, None)
+
+    def test_run_honors_env_var(self, monkeypatch, tmp_path):
+        out = tmp_path / "auto.json"
+        monkeypatch.setenv("REPRO_TRACE", str(out))
+        compile_program(SRC).run(block_size=16)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "superstep" in names and "block" in names
+
+    def test_explicit_tracer_wins_over_env(self, monkeypatch, tmp_path):
+        out = tmp_path / "never.json"
+        monkeypatch.setenv("REPRO_TRACE", str(out))
+        tr = Tracer()
+        compile_program(SRC).run(block_size=16, tracer=tr)
+        assert not out.exists()  # caller owns export when passing a tracer
+        assert tr.spans("superstep")

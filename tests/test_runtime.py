@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.driver import compile_program
+from repro.obs import Tracer
 from repro.runtime.scheduler import SequentialScheduler, ThreadScheduler, make_blocks
 from repro.runtime.simsched import (
     DEFAULT_LOCK_OVERHEAD,
@@ -31,8 +32,26 @@ class TestBlocks:
         with pytest.raises(ValueError):
             make_blocks(np.arange(4), 0)
 
+    def test_negative_block_size(self):
+        with pytest.raises(ValueError):
+            make_blocks(np.arange(4), -3)
+
     def test_empty(self):
         assert make_blocks(np.arange(0), 4) == []
+
+    def test_block_larger_than_input(self):
+        blocks = make_blocks(np.arange(3), 100)
+        assert len(blocks) == 1
+        assert blocks[0].tolist() == [0, 1, 2]
+
+    def test_single_element_blocks(self):
+        blocks = make_blocks(np.arange(4), 1)
+        assert [b.tolist() for b in blocks] == [[0], [1], [2], [3]]
+
+    def test_blocks_preserve_order_and_content(self):
+        idx = np.array([9, 2, 7, 4, 1])
+        blocks = make_blocks(idx, 2)
+        assert np.concatenate(blocks).tolist() == idx.tolist()
 
 
 class TestSchedulers:
@@ -57,9 +76,62 @@ class TestSchedulers:
         with pytest.raises(ValueError, match="kaput"):
             ThreadScheduler(2).run_step(make_blocks(np.arange(4), 2), boom)
 
+    def test_error_reaches_caller_after_barrier(self):
+        """One poisoned block among many: the error surfaces in the
+        caller, and the surviving workers still drain their blocks (the
+        barrier completes before the raise)."""
+        blocks = make_blocks(np.arange(64), 4)
+        done = []
+
+        def sometimes_boom(block):
+            if block[0] == 24:
+                raise RuntimeError("block 6 kaput")
+            done.append(int(block[0]))
+            return block.sum()
+
+        sched = ThreadScheduler(3)
+        with pytest.raises(RuntimeError, match="block 6 kaput"):
+            sched.run_step(blocks, sometimes_boom)
+        # every thread has joined, so the done-list is final and no
+        # worker is still running
+        assert len(done) <= len(blocks) - 1
+        assert 24 not in done
+
     def test_thread_worker_count_validation(self):
         with pytest.raises(ValueError):
             ThreadScheduler(0)
+
+    def test_worker_attribution_recorded(self):
+        blocks = make_blocks(np.arange(40), 4)
+        sched = ThreadScheduler(2)
+        results, _ = sched.run_step(blocks, lambda b: b.sum())
+        assert len(sched.last_block_workers) == len(blocks)
+        assert all(w in (0, 1) for w in sched.last_block_workers)
+        # a single worker must also be able to drain the whole list
+        solo = ThreadScheduler(1)
+        solo.run_step(blocks, lambda b: b.sum())
+        assert solo.last_block_workers == [0] * len(blocks)
+
+    def test_tracer_attribution_matches_workers(self):
+        tracer = Tracer()
+        blocks = make_blocks(np.arange(24), 4)
+        sched = ThreadScheduler(2)
+        sched.run_step(blocks, lambda b: b.sum(), tracer=tracer, step=0)
+        spans = tracer.spans("block")
+        assert len(spans) == len(blocks)
+        by_block = {ev.args["block"]: ev.tid for ev in spans}
+        for i, wid in enumerate(sched.last_block_workers):
+            assert by_block[i] == f"worker-{wid}"
+
+    def test_sequential_scheduler_traces_blocks(self):
+        tracer = Tracer()
+        blocks = make_blocks(np.arange(10), 3)
+        SequentialScheduler().run_step(blocks, lambda b: b.sum(),
+                                       tracer=tracer, step=7)
+        spans = tracer.spans("block")
+        assert [ev.args["step"] for ev in spans] == [7] * 4
+        assert {ev.tid for ev in spans} == {"worker-0"}
+        assert [ev.args["strands"] for ev in spans] == [3, 3, 3, 1]
 
 
 class TestSimulatedScheduler:
@@ -130,11 +202,29 @@ class TestTraceCollection:
             initially [ S(i) | i in 0 .. 99 ];
         """
         prog = compile_program(src)
-        res = prog.run(block_size=16, collect_trace=True)
+        tracer = Tracer()
+        res = prog.run(block_size=16, tracer=tracer)
+        trace = tracer.block_step_times()
         assert res.steps == 3
-        assert len(res.block_trace) == 3
-        assert len(res.block_trace[0]) == 7  # ceil(100/16)
-        assert all(t >= 0 for step in res.block_trace for t in step)
+        assert len(trace) == 3
+        assert len(trace[0]) == 7  # ceil(100/16)
+        assert all(t >= 0 for step in trace for t in step)
+
+    def test_superstep_spans_carry_strand_counts(self):
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { x += 1.0; if (x > 2.5) stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 99 ];
+        """
+        tracer = Tracer()
+        compile_program(src).run(block_size=16, tracer=tracer)
+        steps = tracer.spans("superstep")
+        assert [ev.args["step"] for ev in steps] == [0, 1, 2]
+        assert steps[0].args["active"] == 100
+        assert steps[0].args["blocks"] == 7
+        assert steps[-1].args["stable"] == 100
 
     def test_trace_off_by_default(self):
         src = """
@@ -145,7 +235,7 @@ class TestTraceCollection:
             initially [ S(i) | i in 0 .. 9 ];
         """
         res = compile_program(src).run()
-        assert res.block_trace == []
+        assert res.num_stable == 10  # no tracer: runs normally, no trace
 
 
 class TestActiveSetShrinks:

@@ -1,6 +1,5 @@
 """Tests for the simplification phase (paper §5.1)."""
 
-import pytest
 
 from repro.core.simple import (
     DIE,

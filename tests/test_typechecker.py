@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.syntax import parse_program
 from repro.core.ty import check_program
-from repro.core.ty.types import BOOL, FieldTy, INT, REAL, TensorTy
+from repro.core.ty.types import FieldTy, INT, REAL
 from repro.errors import TypeErrorD
 
 
@@ -38,7 +38,7 @@ class TestFieldTyping:
     """The typing judgments of Figure 2."""
 
     def test_convolution_type(self):
-        tp = check(wrap("stabilize;", globs=FIELD_GLOBALS))
+        check(wrap("stabilize;", globs=FIELD_GLOBALS))
         # F : field#2(3)[] — checked implicitly by acceptance; make explicit:
         src = FIELD_GLOBALS + wrap("x = F([0.0,0.0,0.0]); stabilize;")
         check(src)

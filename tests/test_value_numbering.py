@@ -1,12 +1,11 @@
 """Tests for value numbering (paper §5.4's domain-specific CSE)."""
 
 import numpy as np
-import pytest
 
-from repro.core.driver import OptOptions, compile_to_source
+from repro.core.driver import OptOptions
 from repro.core.ir import ops as irops
 from repro.core.ir.base import Body, Func, IfRegion, Phi, Value
-from repro.core.ty.types import BOOL, INT, REAL
+from repro.core.ty.types import BOOL, REAL
 from repro.core.xform.value_numbering import value_number
 
 
@@ -64,7 +63,6 @@ class TestBasicMerging:
 
     def test_different_attrs_not_merged(self):
         body = Body()
-        x = Value(REAL)
         from repro.core.ty.types import TensorTy
 
         v = Value(TensorTy((2, 2)))
@@ -149,13 +147,13 @@ def mid_update_op_counts(src, vn: bool):
     from repro.core.driver import _optimize
     from repro.core.codegen.interp import compile_high
     from repro.core.xform.to_mid import to_mid
+    from repro.obs import NULL_TRACER
 
     opts = OptOptions(value_numbering=vn)
     hp = compile_high(src, optimize=opts)
     fn = hp.update_func
     to_mid(fn, hp.images)
-    removed = {}
-    _optimize(fn, irops.MID, opts, removed)
+    _optimize(fn, irops.MID, opts, NULL_TRACER, "mid")
     return {
         op: count_ops(fn, op)
         for op in ("gather", "to_index", "conv_contract", "weights")
