@@ -6,7 +6,8 @@ setting of input variables" (§3.3.1) and its runtime writes program output
 
     python -m repro PROGRAM.diderot [--input name=value ...]
                                     [--precision single|double]
-                                    [--workers N] [--block-size N]
+                                    [--scheduler seq|thread|process]
+                                    [--workers N|auto] [--block-size N]
                                     [--out PREFIX] [--text]
                                     [--emit-python] [--stats]
                                     [--trace FILE.json] [--profile]
@@ -31,6 +32,7 @@ from repro.core.driver import compile_file
 from repro.errors import DiderotError
 from repro.inputs import parse_value
 from repro.obs import Tracer, format_summary, write_chrome_trace
+from repro.runtime.scheduler import SCHEDULER_NAMES, resolve_workers
 
 
 def _write_text(prefix: str, name: str, arr: np.ndarray) -> str:
@@ -48,7 +50,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--input", action="append", default=[], metavar="NAME=VALUE",
                     help="set an input global (repeatable)")
     ap.add_argument("--precision", choices=("single", "double"), default="double")
-    ap.add_argument("--workers", type=int, default=1)
+    ap.add_argument("--workers", type=str, default="1", metavar="N|auto",
+                    help="worker count, or 'auto' for the CPU count")
+    ap.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
+                    help="seq, thread, or process (default: seq for 1 "
+                         "worker, thread otherwise)")
     ap.add_argument("--block-size", type=int, default=4096)
     ap.add_argument("--max-steps", type=int, default=None)
     ap.add_argument("--out", default="out", help="output file prefix")
@@ -64,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--profile", action="store_true",
                     help="print a compiler-pass / super-step profile summary")
     args = ap.parse_args(argv)
+
+    try:
+        workers = resolve_workers(args.workers)
+    except DiderotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     tracer = Tracer() if (args.trace or args.profile) else None
 
@@ -99,10 +111,11 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         result = prog.run(
-            workers=args.workers,
+            workers=workers,
             block_size=args.block_size,
             max_steps=args.max_steps,
             tracer=tracer,
+            scheduler=args.scheduler,
         )
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)

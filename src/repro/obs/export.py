@@ -119,6 +119,18 @@ def _superstep_table(tracer) -> list[str]:
     return lines
 
 
+def _tid_sort_key(tid: str) -> tuple:
+    """Natural ordering for worker labels: worker-2 before worker-10.
+
+    Block spans carry the same ``worker-<i>`` labels whether the worker
+    was a thread or a forked process, so one table serves all backends.
+    """
+    head, _, tail = tid.rpartition("-")
+    if tail.isdigit():
+        return (head, int(tail))
+    return (tid, -1)
+
+
 def _worker_table(tracer) -> list[str]:
     blocks = tracer.spans("block")
     if not blocks:
@@ -131,7 +143,7 @@ def _worker_table(tracer) -> list[str]:
     span_total = sum(ev.dur for ev in tracer.spans("superstep"))
     lines = ["workers:",
              f"  {'worker':<16}{'blocks':>8}{'busy':>10}{'util':>7}"]
-    for tid in sorted(busy):
+    for tid in sorted(busy, key=_tid_sort_key):
         util = busy[tid] / span_total if span_total > 0 else 0.0
         lines.append(
             f"  {tid:<16}{n[tid]:>8}{_fmt_time(busy[tid]):>10}{util:>6.0%}"

@@ -1,0 +1,330 @@
+"""True multicore execution: a process pool over shared-memory strand state.
+
+CPython's GIL serializes the bytecode between NumPy calls, so the
+thread-pool scheduler (:mod:`repro.runtime.scheduler`) cannot reach the
+paper's near-linear scaling on real hardware.  This module reproduces the
+paper's parallel runtime (§5.5) with *processes* instead:
+
+* **Shared-memory layout** — every strand-state array, the status array,
+  the active-strand index list, and every image payload live in
+  :mod:`multiprocessing.shared_memory` blocks.  The master's arrays *are*
+  views over those blocks, so worker writes are immediately visible
+  without any result pickling.
+* **Persistent pool** — workers are forked once per ``run()`` (not per
+  super-step).  Each worker receives a one-time setup message carrying
+  the generated module source, the image metadata + shared-memory names,
+  the resolved global values, and the state/status/active array specs; it
+  ``exec``\\ s the source and rebuilds its context locally.
+* **Work-list + barrier** — each super-step the master writes the active
+  strand indices into the shared index buffer and enqueues
+  ``(block_start, block_end)`` ranges on a shared task queue; workers
+  pull ranges until the list is empty, gathering/scattering strand state
+  through their shared-memory views.  The master collecting one ack per
+  block is the paper's end-of-super-step barrier.
+
+Strand blocks index disjoint strand sets, so concurrent in-place writes
+never overlap and the results are bit-identical to the sequential
+schedule (asserted by ``tests/test_schedulers.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as _queue
+import time
+import traceback
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.errors import RuntimeErrorD
+from repro.obs import NULL_TRACER
+
+#: seconds between liveness checks while waiting on worker messages
+_POLL_INTERVAL = 5.0
+
+
+def _context():
+    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _SharedArray:
+    """A NumPy array whose storage is a named SharedMemory block."""
+
+    def __init__(self, arr: np.ndarray):
+        arr = np.ascontiguousarray(arr)
+        self.shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self.view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self.shm.buf)
+        self.view[...] = arr
+
+    def spec(self) -> tuple:
+        return (self.shm.name, self.view.shape, str(self.view.dtype))
+
+    def destroy(self) -> None:
+        self.view = None
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _attach(spec):
+    """Open a named block in a worker; returns ``(shm, ndarray_view)``.
+
+    The master owns the block's lifetime (it unlinks on close), so the
+    worker's attach must not register with its resource tracker — that
+    would produce spurious leak warnings / double unlinks at exit.
+    """
+    name, shape, dtype = spec
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # before 3.13 there is no ``track`` kwarg — but attaching does not
+        # register with the resource tracker there either, so plain attach
+        # is already untracked
+        shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+class _WorkerCtx:
+    """The context object generated functions receive (worker-side)."""
+
+    def __init__(self, images: dict, dtype):
+        self.images = images
+        self.dtype = dtype
+
+
+def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
+    """Worker process: one-time setup, then the per-step task loop."""
+    shms = []
+    try:
+        from repro.image import Image
+
+        setup = pickle.loads(setup_bytes)
+        state = []
+        for spec in setup["state"]:
+            shm, view = _attach(spec)
+            shms.append(shm)
+            state.append(view)
+        shm, status = _attach(setup["status"])
+        shms.append(shm)
+        shm, active = _attach(setup["active"])
+        shms.append(shm)
+        images = {}
+        for name, (spec, dim, tshape, orient) in setup["images"].items():
+            shm, data = _attach(spec)
+            shms.append(shm)
+            # same dtype + contiguous ⇒ Image keeps the shared view, no copy
+            images[name] = Image(data, dim=dim, tensor_shape=tshape,
+                                 orientation=orient, dtype=data.dtype)
+        ns: dict = {}
+        exec(compile(setup["source"], "<diderot-generated>", "exec"), ns)
+        update = ns["update"]
+        ctx = _WorkerCtx(images, setup["dtype"])
+        g = setup["globals"]
+        result_q.put(("ready", wid))
+    except BaseException:
+        result_q.put(("fatal", wid, traceback.format_exc()))
+        return
+    total = status.shape[0]
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        step, bindex, start, end = task
+        t0 = time.perf_counter()
+        try:
+            if end - start == total:
+                # one block covers every strand: active[0:total] is the
+                # identity, so update shared state in place, copy-free
+                out = update(ctx, *g, *state)
+                *new_state, block_status = out
+                for s, new in zip(state, new_state):
+                    s[...] = new
+                status[...] = block_status
+            else:
+                block_idx = active[start:end]
+                block_state = [s[block_idx] for s in state]
+                out = update(ctx, *g, *block_state)
+                *new_state, block_status = out
+                for s, new in zip(state, new_state):
+                    s[block_idx] = new
+                status[block_idx] = block_status
+        except BaseException:
+            result_q.put(("error", wid, bindex, traceback.format_exc()))
+            continue
+        result_q.put(("done", wid, bindex, t0,
+                      time.perf_counter() - t0, end - start))
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+class ProcessScheduler:
+    """Persistent process pool with shared-memory strand state.
+
+    Unlike the in-process schedulers (which are handed opaque per-block
+    closures), this scheduler owns the strand state: ``setup()`` moves
+    the state/status arrays and image payloads into shared memory, forks
+    the pool, and returns shared views that **replace** the master's
+    arrays; each ``run_step()`` then only ships ``(start, end)`` block
+    ranges — workers write results in place through their own views.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.last_block_workers: list[int] = []
+        self._arrays: list[_SharedArray] = []
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._active = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def setup(self, source: str, images: dict, dtype, global_values,
+              state: list[np.ndarray], status: np.ndarray):
+        """Move state into shared memory and fork the pool.
+
+        Returns ``(state_views, status_view)`` — the shared arrays the
+        master must use for the rest of the run (stabilize scatters and
+        output extraction read worker writes through them).
+        """
+        ctx = _context()
+        state_sa = [_SharedArray(s) for s in state]
+        status_sa = _SharedArray(status)
+        active_sa = _SharedArray(np.arange(status.shape[0], dtype=np.int64))
+        self._arrays = [*state_sa, status_sa, active_sa]
+        self._active = active_sa.view
+
+        image_specs = {}
+        for name, img in images.items():
+            sa = _SharedArray(img.data)
+            self._arrays.append(sa)
+            image_specs[name] = (sa.spec(), img.dim, img.tensor_shape,
+                                 img.orientation)
+
+        setup_bytes = pickle.dumps(
+            {
+                "source": source,
+                "images": image_specs,
+                "dtype": dtype,
+                "globals": list(global_values),
+                "state": [sa.spec() for sa in state_sa],
+                "status": status_sa.spec(),
+                "active": active_sa.spec(),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._task_q = ctx.SimpleQueue()
+        self._result_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=_worker_main,
+                        args=(i, setup_bytes, self._task_q, self._result_q),
+                        name=f"diderot-worker-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for p in self._procs:
+            p.start()
+        # setup barrier: every worker reports ready (or a setup failure)
+        for _ in self._procs:
+            msg = self._get_result()
+            if msg[0] == "fatal":
+                raise RuntimeErrorD(
+                    f"process worker {msg[1]} failed during setup:\n{msg[2]}"
+                )
+        return [sa.view for sa in state_sa], status_sa.view
+
+    def close(self) -> None:
+        """Retire the pool and release every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_q is not None:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except (OSError, ValueError):
+                    break
+        for p in self._procs:
+            p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                try:
+                    q.close()
+                except Exception:
+                    pass
+        for sa in self._arrays:
+            sa.destroy()
+        self._arrays = []
+        self._procs = []
+
+    # -- execution ---------------------------------------------------------
+
+    def _get_result(self):
+        while True:
+            try:
+                return self._result_q.get(timeout=_POLL_INTERVAL)
+            except _queue.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise RuntimeErrorD(
+                        f"process workers died unexpectedly: {dead}"
+                    ) from None
+
+    def run_step(self, active_idx: np.ndarray, block_size: int,
+                 tracer=NULL_TRACER, step: int = 0):
+        """Execute one super-step over ``active_idx``.
+
+        Returns ``(n_blocks, per_block_times)``; state/status mutations
+        happen in place in the shared arrays.
+        """
+        n_active = int(active_idx.size)
+        self._active[:n_active] = active_idx
+        ranges = [
+            (start, min(start + block_size, n_active))
+            for start in range(0, n_active, block_size)
+        ]
+        for i, (start, end) in enumerate(ranges):
+            self._task_q.put((step, i, start, end))
+        times = [0.0] * len(ranges)
+        block_workers = [-1] * len(ranges)
+        errors = []
+        for _ in ranges:  # the barrier: one ack per block
+            msg = self._get_result()
+            kind = msg[0]
+            if kind == "done":
+                _, wid, bindex, t0, dt, strands = msg
+                times[bindex] = dt
+                block_workers[bindex] = wid
+                if tracer.enabled:
+                    tracer.complete("block", "block", t0, dt,
+                                    tid=f"worker-{wid}", step=step,
+                                    block=bindex, strands=int(strands))
+            elif kind == "error":
+                errors.append((msg[2], msg[3]))
+            else:  # pragma: no cover - fatal after setup barrier
+                raise RuntimeErrorD(
+                    f"process worker {msg[1]} failed:\n{msg[2]}"
+                )
+        self.last_block_workers = block_workers
+        if errors:
+            bindex, tb = errors[0]
+            raise RuntimeErrorD(
+                f"strand update failed in block {bindex} "
+                f"(process scheduler):\n{tb}"
+            )
+        return len(ranges), times

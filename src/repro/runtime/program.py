@@ -26,9 +26,11 @@ from repro.image import Image
 from repro.nrrd import read_nrrd
 from repro.obs import NULL_TRACER, tracer_from_env, write_chrome_trace
 from repro.runtime.scheduler import (
+    SCHEDULER_NAMES,
     SequentialScheduler,
     ThreadScheduler,
     make_blocks,
+    resolve_workers,
 )
 
 #: status codes returned by compiled update functions
@@ -80,6 +82,44 @@ class _Ctx:
     def __init__(self, images: dict[str, Image], dtype):
         self.images = images
         self.dtype = dtype
+
+
+def _adopt_results(out: tuple, state: list, status: np.ndarray):
+    """Adopt a full-block update's results as the new state/status arrays.
+
+    The in-place fast path hands the state arrays to ``update`` directly
+    and the returned arrays *become* the state — no gather/scatter
+    copies.  Results may be unbatched (constant-folded: one value for all
+    strands), non-writeable (broadcasts), or may alias each other or an
+    input array (two results sharing one SSA value, or a pass-through
+    state variable); each such array is materialized so every state
+    variable keeps private writeable storage — later scatters (stabilize,
+    partial blocks) write into these arrays in place.
+    """
+    *new_state, block_status = out
+    # update returns one result per declared state variable, in state
+    # order; hidden immutable extras (method-referenced strand params)
+    # ride at the tail of ``state`` and keep their arrays
+    kept = state[len(new_state):]
+    adopted: list[np.ndarray] = list(kept)
+
+    def materialize(arr, like):
+        # match the scatter path exactly: ``like[idx] = arr`` would cast
+        # to the state array's dtype and broadcast unbatched values
+        arr = np.asarray(arr)
+        if arr.dtype != like.dtype:
+            arr = arr.astype(like.dtype)
+        if arr.ndim == like.ndim - 1:  # unbatched: one value, every strand
+            arr = np.broadcast_to(arr, like.shape)
+        if not arr.flags.writeable or any(
+            np.may_share_memory(arr, prev) for prev in adopted
+        ):
+            arr = np.array(arr)
+        adopted.append(arr)
+        return arr
+
+    new_arrs = [materialize(new, s_old) for s_old, new in zip(state, new_state)]
+    return new_arrs + kept, materialize(block_status, status)
 
 
 class Program:
@@ -216,30 +256,45 @@ class Program:
 
     def run(
         self,
-        workers: int = 1,
+        workers: int | str = 1,
         block_size: int = DEFAULT_BLOCK_SIZE,
         max_steps: int | None = None,
         tracer=None,
+        scheduler: str | None = None,
     ) -> RunResult:
         """Execute the program to completion.
 
-        ``workers > 1`` uses the thread-pool scheduler with a shared,
-        lock-protected work-list of strand blocks (paper §5.5);
-        ``workers == 1`` runs the sequential loop nest.
+        ``scheduler`` selects the parallel backend (DESIGN.md "Parallel
+        backends"): ``"seq"`` is the sequential loop nest, ``"thread"``
+        the persistent thread pool with a shared lock-protected work-list
+        of strand blocks (paper §5.5), and ``"process"`` the
+        shared-memory process pool (:mod:`repro.runtime.mpsched`) — true
+        multicore execution on CPython.  When omitted, ``workers == 1``
+        runs sequentially and ``workers > 1`` uses threads.  ``workers``
+        accepts ``"auto"`` for the machine's CPU count; counts below 1
+        raise :class:`~repro.errors.InputError`.
 
         ``tracer`` is an optional :class:`repro.obs.Tracer`: each
         super-step becomes a span carrying active/stable/died strand
         counts, with per-block child spans attributed to the worker
-        thread that ran them; its ``on_superstep`` callback fires as each
-        step completes.  When no tracer is passed and the ``REPRO_TRACE``
-        environment variable names a path, a tracer is created and a
-        Chrome trace-event file is written there after the run.  With
-        tracing off the hot path allocates no span objects.
+        (thread or process) that ran them; its ``on_superstep`` callback
+        fires as each step completes.  When no tracer is passed and the
+        ``REPRO_TRACE`` environment variable names a path, a tracer is
+        created and a Chrome trace-event file is written there after the
+        run.  With tracing off the hot path allocates no span objects.
         """
         env_trace_path = None
         if tracer is None:
             tracer, env_trace_path = tracer_from_env()
         tr = tracer if tracer is not None else NULL_TRACER
+
+        workers = resolve_workers(workers)
+        if scheduler is None:
+            scheduler = "seq" if workers == 1 else "thread"
+        if scheduler not in SCHEDULER_NAMES:
+            raise InputError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULER_NAMES}"
+            )
 
         ctx = self._context()
         g = self._globals_tuple(ctx)
@@ -290,63 +345,102 @@ class Program:
             state[i] = arr
 
         status = np.zeros(total, dtype=np.int64)  # RUNNING
-        scheduler = (
-            SequentialScheduler()
-            if workers <= 1
-            else ThreadScheduler(workers)
-        )
+        update = ns["update"]
+        stabilize_fn = ns.get("stabilize")
+
+        pool = None
+        sched = None
+        if scheduler == "process":
+            from repro.runtime.mpsched import ProcessScheduler
+
+            pool = ProcessScheduler(workers)
+            # the master's state arrays become views over the pool's
+            # shared-memory blocks: worker writes land in place
+            state, status = pool.setup(
+                self.generated_source, ctx.images, self.dtype, g, state, status
+            )
+        elif scheduler == "thread":
+            sched = ThreadScheduler(workers)
+        else:
+            sched = SequentialScheduler()
 
         if tr.enabled:
             tr.complete("setup", "run", t0, time.perf_counter() - t0,
-                        strands=total)
+                        strands=total, scheduler=scheduler)
 
-        update = ns["update"]
-        stabilize_fn = ns.get("stabilize")
         steps = 0
         active_idx = np.arange(total, dtype=np.int64)
-        while active_idx.size:
-            if max_steps is not None and steps >= max_steps:
-                break
-            step_t0 = time.perf_counter() if tr.enabled else 0.0
-            active_before = int(active_idx.size)
-            blocks = make_blocks(active_idx, block_size)
+        try:
+            while active_idx.size:
+                if max_steps is not None and steps >= max_steps:
+                    break
+                step_t0 = time.perf_counter() if tr.enabled else 0.0
+                active_before = int(active_idx.size)
+                if pool is not None:
+                    n_blocks, _times = pool.run_step(
+                        active_idx, block_size, tracer=tr, step=steps
+                    )
+                else:
+                    blocks = make_blocks(active_idx, block_size)
+                    n_blocks = len(blocks)
+                    # in-place block update: when one block covers every
+                    # strand (active == identity), hand the state arrays
+                    # to update directly instead of fancy-index gathering
+                    # a copy of each one
+                    full_block = n_blocks == 1 and blocks[0].size == total
 
-            def run_block(block_idx: np.ndarray) -> tuple[np.ndarray, tuple]:
-                block_state = [s[block_idx] for s in state]
-                out = update(ctx, *g, *block_state)
-                return block_idx, out
+                    def run_block(block_idx: np.ndarray) -> tuple[np.ndarray, tuple]:
+                        if full_block:
+                            block_state = state
+                        else:
+                            block_state = [s[block_idx] for s in state]
+                        out = update(ctx, *g, *block_state)
+                        return block_idx, out
 
-            results, times = scheduler.run_step(
-                blocks, run_block, tracer=tr, step=steps
-            )
-            newly_stable_all = []
-            for block_idx, out in results:
-                *new_state, block_status = out
-                for s_arr, new in zip(state, new_state):
-                    s_arr[block_idx] = new
-                status[block_idx] = block_status
-                stable_mask = block_status == STABILIZE
-                if np.any(stable_mask):
-                    newly_stable_all.append(block_idx[stable_mask])
-            if stabilize_fn is not None and newly_stable_all:
-                stable_idx = np.concatenate(newly_stable_all)
-                block_state = [s[stable_idx] for s in state]
-                new_state = stabilize_fn(ctx, *g, *block_state)
-                for s_arr, new in zip(state, new_state):
-                    s_arr[stable_idx] = new
-            if tr.enabled:
-                step_stable = int(np.sum(status[active_idx] == STABILIZE))
-                step_died = int(np.sum(status[active_idx] == DIE))
-                tr.complete(
-                    "superstep", "superstep", step_t0,
-                    time.perf_counter() - step_t0,
-                    step=steps, blocks=len(blocks), active=active_before,
-                    stable=step_stable, died=step_died,
-                )
-            active_idx = active_idx[status[active_idx] == RUNNING]
-            if tr.enabled:
-                tr.gauge("active-strands", int(active_idx.size))
-            steps += 1
+                    results, _times = sched.run_step(
+                        blocks, run_block, tracer=tr, step=steps
+                    )
+                    if full_block:
+                        state, status = _adopt_results(
+                            results[0][1], state, status
+                        )
+                    else:
+                        for block_idx, out in results:
+                            *new_state, block_status = out
+                            for s_arr, new in zip(state, new_state):
+                                s_arr[block_idx] = new
+                            status[block_idx] = block_status
+                if stabilize_fn is not None:
+                    stable_mask = status[active_idx] == STABILIZE
+                    if np.any(stable_mask):
+                        stable_idx = active_idx[stable_mask]
+                        block_state = [s[stable_idx] for s in state]
+                        new_state = stabilize_fn(ctx, *g, *block_state)
+                        for s_arr, new in zip(state, new_state):
+                            s_arr[stable_idx] = new
+                if tr.enabled:
+                    step_stable = int(np.sum(status[active_idx] == STABILIZE))
+                    step_died = int(np.sum(status[active_idx] == DIE))
+                    tr.complete(
+                        "superstep", "superstep", step_t0,
+                        time.perf_counter() - step_t0,
+                        step=steps, blocks=n_blocks, active=active_before,
+                        stable=step_stable, died=step_died,
+                    )
+                active_idx = active_idx[status[active_idx] == RUNNING]
+                if tr.enabled:
+                    tr.gauge("active-strands", int(active_idx.size))
+                steps += 1
+            if pool is not None:
+                # outputs must outlive the shared blocks: detach before
+                # the pool (and its shared memory) is torn down
+                state = [np.array(s) for s in state]
+                status = np.array(status)
+        finally:
+            if pool is not None:
+                pool.close()
+            elif sched is not None:
+                sched.close()
 
         wall = time.perf_counter() - t0
         n_stable = int(np.sum(status == STABILIZE))
@@ -402,7 +496,11 @@ class Program:
         parser = argparse.ArgumentParser(description="Diderot program")
         for name in self.high.input_names:
             parser.add_argument(f"--{name}", type=str, default=None)
-        parser.add_argument("--workers", type=int, default=1)
+        parser.add_argument("--workers", type=str, default="1",
+                            help="worker count, or 'auto' for the CPU count")
+        parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
+                            help="seq, thread, or process (default: seq for "
+                                 "1 worker, thread otherwise)")
         parser.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
         parser.add_argument("--trace", metavar="FILE",
                             default=os.environ.get("REPRO_TRACE") or None,
@@ -416,7 +514,7 @@ class Program:
                 self.set_input(name, parse_value(raw))
         tracer = Tracer() if (args.trace or args.profile) else None
         result = self.run(workers=args.workers, block_size=args.block_size,
-                          tracer=tracer)
+                          tracer=tracer, scheduler=args.scheduler)
         if args.trace:
             write_chrome_trace(tracer, args.trace)
         if args.profile:

@@ -10,24 +10,57 @@ super-step, each worker grabs and updates strands until the work-list is
 empty.  Barrier synchronization is used to coordinate the threads at the
 end of a super step."
 
-Both schedulers execute one *super-step* when called: they are handed the
-list of strand blocks and a function that updates one block, and they
-return the per-block results plus per-block wall-clock times.  When a
-:class:`repro.obs.Tracer` is passed, each block is additionally recorded
-as a ``cat="block"`` span attributed to the worker that ran it (the raw
-material for the simulated-multicore analysis in
+The in-process schedulers here execute one *super-step* when called: they
+are handed the list of strand blocks and a function that updates one
+block, and they return the per-block results plus per-block wall-clock
+times.  The process-pool scheduler — true multicore execution over
+shared-memory strand state — lives in :mod:`repro.runtime.mpsched`; see
+DESIGN.md "Parallel backends" for when each backend wins.
+
+When a :class:`repro.obs.Tracer` is passed, each block is additionally
+recorded as a ``cat="block"`` span attributed to the worker that ran it
+(the raw material for the simulated-multicore analysis in
 :mod:`repro.runtime.simsched` and the per-worker utilization table);
 ``last_block_workers`` records which worker ran each block.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
 import numpy as np
 
+from repro.errors import InputError
 from repro.obs import NULL_TRACER
+
+#: the scheduler names accepted by ``Program.run`` and the CLIs
+SCHEDULER_NAMES = ("seq", "thread", "process")
+
+
+def resolve_workers(workers) -> int:
+    """Resolve a worker-count setting to a positive integer.
+
+    ``"auto"`` resolves to the machine's CPU count; anything else must be
+    an integer ≥ 1.  Zero and negative counts are rejected with a clean
+    :class:`~repro.errors.InputError` rather than silently falling back
+    to sequential execution.
+    """
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(text)
+        except ValueError:
+            raise InputError(
+                f"--workers expects a positive integer or 'auto', got {workers!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise InputError(f"--workers must be >= 1, got {workers}")
+    return workers
 
 
 def make_blocks(active_idx: np.ndarray, block_size: int) -> list[np.ndarray]:
@@ -60,17 +93,23 @@ class SequentialScheduler:
         self.last_block_workers = [0] * len(blocks)
         return results, times
 
+    def close(self) -> None:
+        """Nothing to shut down; present for scheduler-interface symmetry."""
+
 
 class ThreadScheduler:
-    """Worker threads pulling blocks from a lock-protected work-list.
+    """Persistent worker threads pulling blocks from a shared work-list.
 
-    This is a direct port of the paper's runtime structure.  The shared
-    work-list is a plain index into the block list, advanced under the
-    lock — an O(1) grab, keeping the critical section as cheap as the
-    paper assumes (§5.5/§6.4).  (CPython's GIL limits the speedup
-    NumPy-bound workers can realize; the simulated scheduler in
-    :mod:`repro.runtime.simsched` reproduces the paper's scaling results
-    from measured block costs — see DESIGN.md.)
+    This is a direct port of the paper's runtime structure: the workers
+    are created **once** (the paper forks its thread pool at startup, not
+    per super-step) and reused across super-steps.  Each ``run_step``
+    publishes the step's block list under a condition variable and wakes
+    the pool; workers grab blocks by advancing a shared cursor — an O(1)
+    grab, keeping the critical section as cheap as the paper assumes
+    (§5.5/§6.4) — and the caller waits on the same condition until the
+    last block completes: the paper's end-of-super-step barrier.
+
+    Call :meth:`close` (or rely on the daemon flag) to retire the pool.
     """
 
     def __init__(self, workers: int):
@@ -78,48 +117,104 @@ class ThreadScheduler:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.last_block_workers: list[int] = []
+        self._cv = threading.Condition()
+        # per-step work-list state, all guarded by the condition variable
+        self._blocks: list = []
+        self._run_block = None
+        self._tracer = NULL_TRACER
+        self._step = 0
+        self._next = 0        # the work-list cursor (§6.4's lock)
+        self._pending = 0     # blocks not yet completed this step
+        self._results: list = []
+        self._times: list = []
+        self._block_workers: list = []
+        self._errors: list = []
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,),
+                             name=f"diderot-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker(self, wid: int) -> None:
+        label = f"worker-{wid}"
+        while True:
+            with self._cv:
+                while not self._closed and self._next >= len(self._blocks):
+                    self._cv.wait()
+                if self._closed:
+                    return
+                i = self._next
+                self._next += 1
+                blocks = self._blocks
+                run_block = self._run_block
+                tracer = self._tracer
+                step = self._step
+            try:
+                t0 = time.perf_counter()
+                out = run_block(blocks[i])
+                dt = time.perf_counter() - t0
+            except BaseException as exc:  # propagate after the barrier
+                with self._cv:
+                    self._errors.append(exc)
+                    # cancel this step's unclaimed blocks so the barrier
+                    # opens and run_step can raise
+                    skipped = len(self._blocks) - self._next
+                    self._next = len(self._blocks)
+                    self._pending -= skipped + 1
+                    if self._pending <= 0:
+                        self._cv.notify_all()
+                continue
+            if tracer.enabled:
+                tracer.complete("block", "block", t0, dt, tid=label,
+                                step=step, block=i,
+                                strands=int(len(blocks[i])))
+            with self._cv:
+                self._results[i] = out
+                self._times[i] = dt
+                self._block_workers[i] = wid
+                self._pending -= 1
+                if self._pending <= 0:
+                    self._cv.notify_all()
 
     def run_step(self, blocks, run_block, tracer=NULL_TRACER, step=0):
         n = len(blocks)
-        lock = threading.Lock()
-        next_block = [0]  # the work-list cursor, guarded by `lock`
-        results: list = [None] * n
-        times: list = [0.0] * n
-        block_workers: list = [-1] * n
-        errors: list = []
-
-        def worker(wid: int) -> None:
-            label = f"worker-{wid}"
-            while True:
-                with lock:  # the work-list lock the paper discusses (§6.4)
-                    i = next_block[0]
-                    if i >= n:
-                        return
-                    next_block[0] = i + 1
-                try:
-                    t0 = time.perf_counter()
-                    results[i] = run_block(blocks[i])
-                    dt = time.perf_counter() - t0
-                    times[i] = dt
-                    block_workers[i] = wid
-                    if tracer.enabled:
-                        tracer.complete("block", "block", t0, dt, tid=label,
-                                        step=step, block=i,
-                                        strands=int(len(blocks[i])))
-                except BaseException as exc:  # propagate after the barrier
-                    with lock:
-                        errors.append(exc)
-                    return
-
-        threads = [
-            threading.Thread(target=worker, args=(i,), name=f"diderot-worker-{i}")
-            for i in range(min(self.workers, max(1, n)))
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:  # barrier at the end of the super-step
-            t.join()
-        self.last_block_workers = block_workers
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("ThreadScheduler is closed")
+            self._blocks = blocks
+            self._run_block = run_block
+            self._tracer = tracer
+            self._step = step
+            self._results = [None] * n
+            self._times = [0.0] * n
+            self._block_workers = [-1] * n
+            self._errors = []
+            self._pending = n
+            self._next = 0
+            self._cv.notify_all()
+            while self._pending > 0:  # barrier at the end of the super-step
+                self._cv.wait()
+            # quiesce the work-list so woken workers go back to waiting
+            self._blocks = []
+            self._next = 0
+            self._run_block = None
+            results = self._results
+            times = self._times
+            self.last_block_workers = list(self._block_workers)
+            errors = list(self._errors)
         if errors:
             raise errors[0]
         return results, times
+
+    def close(self) -> None:
+        """Retire the worker pool (idempotent)."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=2.0)

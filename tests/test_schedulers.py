@@ -1,0 +1,338 @@
+"""Scheduler equivalence and uniform-branch-guard tests.
+
+The paper's execution model (§5.5) makes scheduling invisible to the
+program: strand blocks index disjoint strand sets, so the sequential
+loop nest, the persistent thread pool, and the shared-memory process
+pool must all produce **bit-identical** results at a given block size.
+The uniform-branch guards emitted by pygen (``if rt.any_lane(c):``) must
+likewise be invisible: the HighIR reference interpreter — which always
+executes both predicated arms — is the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.codegen.interp import HighInterpreter, compile_high
+from repro.core.driver import compile_program
+from repro.errors import InputError
+from repro.nrrd import write_nrrd
+from repro.obs import Tracer
+from repro.runtime import ops as rt
+from repro.runtime.scheduler import ThreadScheduler, resolve_workers
+
+#: probe-free program with mixed branching, deaths, and staggered
+#: stabilization — exercises partial blocks and active-set shrinkage
+BRANCHY = """
+input int res = 12;
+strand S (int i, int j) {
+    real x = real(i);
+    real y = real(j);
+    real acc = 0.0;
+    int n = 0;
+    output real v = 0.0;
+    update {
+        if (x * y > 40.0) {
+            acc += sqrt(x + y) * 0.25;
+        } else {
+            acc += 0.125 * x + 0.01 * y;
+        }
+        n += 1;
+        if (acc > 9.0) die;
+        if (n >= 3 + i % 7) {
+            v = acc + 0.001 * real(n);
+            stabilize;
+        }
+    }
+}
+initially [ S(i, j) | i in 0 .. res-1, j in 0 .. res-1 ];
+"""
+
+#: image-probing program — under the process scheduler the payload
+#: travels through a shared-memory block
+PROBING = """
+input real scale = 1.5;
+image(2)[] img = load("data.nrrd");
+field#1(2)[] F = img ⊛ ctmr;
+strand S (int i, int j) {
+    vec2 p = [real(i), real(j)];
+    output real v = 0.0;
+    update {
+        if (inside(p, F)) v = scale * F(p) + 0.25 * (∇F(p) • [1.0, 0.5]);
+        stabilize;
+    }
+}
+initially [ S(i, j) | i in 0 .. 9, j in 0 .. 9 ];
+"""
+
+
+def _results_equal(a, b):
+    assert a.steps == b.steps
+    assert a.num_strands == b.num_strands
+    assert a.num_stable == b.num_stable
+    assert a.num_died == b.num_died
+    assert set(a.outputs) == set(b.outputs)
+    for key in a.outputs:
+        assert a.outputs[key].dtype == b.outputs[key].dtype, key
+        assert np.array_equal(a.outputs[key], b.outputs[key]), key
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("block_size", [1, 64, 4096])
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("scheduler", ["thread", "process"])
+    def test_bit_identical_to_sequential(self, scheduler, workers, block_size):
+        prog = compile_program(BRANCHY)
+        base = prog.run(block_size=block_size)
+        res = prog.run(workers=workers, block_size=block_size,
+                       scheduler=scheduler)
+        _results_equal(res, base)
+
+    def test_process_scheduler_with_shared_image(self, noise32):
+        prog = compile_program(PROBING)
+        prog.bind_image("img", noise32)
+        base = prog.run()
+        res = prog.run(workers=2, scheduler="process", block_size=16)
+        _results_equal(res, base)
+
+    def test_explicit_seq_scheduler(self):
+        prog = compile_program(BRANCHY)
+        _results_equal(prog.run(scheduler="seq"), prog.run())
+
+    def test_unknown_scheduler_rejected(self):
+        prog = compile_program(BRANCHY)
+        with pytest.raises(InputError, match="scheduler"):
+            prog.run(scheduler="gpu")
+
+    def test_process_workers_attributed(self):
+        prog = compile_program(BRANCHY)
+        tracer = Tracer()
+        prog.run(workers=2, scheduler="process", block_size=16, tracer=tracer)
+        tids = {ev.tid for ev in tracer.spans("block")}
+        assert tids <= {"worker-0", "worker-1"}
+        per_step = tracer.block_workers()
+        assert all(all(t.startswith("worker-") for t in step) for step in per_step)
+
+    def test_process_error_propagates(self):
+        from repro.errors import RuntimeErrorD
+
+        prog = compile_program(BRANCHY)
+        # corrupt the generated source so workers fail during setup
+        broken = prog.generated_source + "\nraise ValueError('boom')\n"
+        object.__setattr__(prog, "generated_source", broken)
+        with pytest.raises(RuntimeErrorD, match="boom"):
+            prog.run(workers=2, scheduler="process")
+
+
+class TestWorkersOption:
+    def test_auto_resolves_to_cpu_count(self):
+        import os
+
+        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+
+    def test_plain_integers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("2") == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "-4"])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(InputError, match="workers"):
+            resolve_workers(bad)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InputError, match="auto"):
+            resolve_workers("many")
+
+    def test_program_run_rejects_zero_workers(self):
+        prog = compile_program(BRANCHY)
+        with pytest.raises(InputError, match="workers"):
+            prog.run(workers=0)
+
+    def test_program_run_accepts_auto(self):
+        prog = compile_program(BRANCHY)
+        res = prog.run(workers="auto")
+        assert res.num_strands == 144
+
+
+class TestCliWorkers:
+    @pytest.fixture
+    def workspace(self, tmp_path):
+        src = tmp_path / "prog.diderot"
+        src.write_text(BRANCHY, encoding="utf-8")
+        return tmp_path
+
+    def test_workers_auto(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--workers", "auto",
+                     "--out", str(workspace / "o")])
+        assert code == 0
+        assert "144 strands" in capsys.readouterr().out
+
+    def test_process_scheduler_flag(self, workspace, capsys):
+        code = main([str(workspace / "prog.diderot"), "--scheduler", "process",
+                     "--workers", "2", "--out", str(workspace / "o")])
+        assert code == 0
+        assert "144 strands" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "lots"])
+    def test_bad_workers_clean_error(self, workspace, bad, capsys):
+        code = main([str(workspace / "prog.diderot"), "--workers", bad,
+                     "--out", str(workspace / "o")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "workers" in err
+        assert "Traceback" not in err
+
+
+class TestThreadPoolPersistence:
+    def test_workers_reused_across_steps(self):
+        sched = ThreadScheduler(3)
+        try:
+            idents_before = {t.ident for t in sched._threads}
+            for step in range(5):
+                blocks = [np.arange(i, i + 4) for i in range(0, 32, 4)]
+                results, times = sched.run_step(blocks, lambda b: int(b.sum()),
+                                                step=step)
+                assert results == [int(b.sum()) for b in blocks]
+                assert len(times) == len(blocks)
+            assert {t.ident for t in sched._threads} == idents_before
+            assert all(t.is_alive() for t in sched._threads)
+        finally:
+            sched.close()
+
+    def test_last_block_workers_filled(self):
+        sched = ThreadScheduler(2)
+        try:
+            blocks = [np.arange(3)] * 7
+            sched.run_step(blocks, lambda b: None)
+            assert len(sched.last_block_workers) == 7
+            assert all(w in (0, 1) for w in sched.last_block_workers)
+        finally:
+            sched.close()
+
+    def test_error_propagates_and_pool_survives(self):
+        sched = ThreadScheduler(2)
+        try:
+            def boom(block):
+                raise ValueError("bad block")
+
+            with pytest.raises(ValueError, match="bad block"):
+                sched.run_step([np.arange(2)] * 4, boom)
+            # the pool is still usable after an error
+            results, _ = sched.run_step([np.arange(2)], lambda b: 7)
+            assert results == [7]
+        finally:
+            sched.close()
+
+    def test_closed_pool_rejects_work(self):
+        sched = ThreadScheduler(2)
+        sched.close()
+        sched.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sched.run_step([np.arange(2)], lambda b: None)
+        assert not any(t.is_alive() for t in sched._threads)
+
+
+GUARD_CASES = {
+    # every lane takes the then arm → the else arm never runs
+    "all-true": "if (x >= 0.0) { w = x * 2.0 + 1.0; } else { w = -x; }",
+    # no lane takes the then arm → it never runs
+    "all-false": "if (x < -1.0) { w = sqrt(x - 100.0); } else { w = x + 0.5; }",
+    # a genuine per-lane mix → both arms run, φ selects
+    "mixed": "if (x > 5.0) { w = x - 5.0; } else { w = 0.1 * x; }",
+}
+
+
+def _guard_source(branch: str) -> str:
+    return f"""
+    strand S (int i) {{
+        real x = real(i);
+        output real w = 0.0;
+        update {{
+            {branch}
+            stabilize;
+        }}
+    }}
+    initially [ S(i) | i in 0 .. 11 ];
+    """
+
+
+class TestUniformBranchGuards:
+    @pytest.mark.parametrize("case", list(GUARD_CASES))
+    def test_matches_high_interpreter(self, case):
+        src = _guard_source(GUARD_CASES[case])
+        hp = compile_high(src)
+        interp = HighInterpreter(hp, {})
+        g = list(interp.call(hp.globals_func, []))
+        params = interp.call(hp.seed_func, g + [np.arange(12)])
+        state = interp.call(hp.init_func, g + list(params))
+        out = interp.call(hp.update_func, g + list(state))
+        ref = out[hp.update_func.result_names.index("w")]
+
+        prog = compile_program(src)
+        res = prog.run()
+        assert np.allclose(res.outputs["w"], ref, atol=1e-12), case
+
+    def test_uniform_arms_are_skipped(self):
+        rt.reset_guard_stats()
+        prog = compile_program(_guard_source(GUARD_CASES["all-false"]))
+        prog.run()
+        stats = rt.guard_stats()
+        assert stats["checked"] > 0
+        assert stats["skipped"] > 0  # the dead then-arm never executed
+
+    def test_mixed_arms_are_not_skipped(self):
+        prog = compile_program(_guard_source(GUARD_CASES["mixed"]))
+        rt.reset_guard_stats()
+        prog.run()
+        stats = rt.guard_stats()
+        assert stats["checked"] > 0
+        assert stats["skipped"] == 0
+
+    def test_dead_lane_heavy_program_skips_work(self, hand32):
+        """vr-lite's exit-the-volume branch: once every ray in a block has
+        left the volume, the probe arm is skipped entirely."""
+        from repro.programs import vr_lite
+
+        prog = vr_lite.make_program(scale=0.12, volume_size=32)
+        rt.reset_guard_stats()
+        res = prog.run()
+        stats = rt.guard_stats()
+        assert res.steps > 1
+        assert stats["skipped"] > 0
+        assert stats["skipped"] / stats["checked"] > 0.1
+
+
+class TestInPlaceFastPath:
+    def test_single_block_matches_many_blocks(self):
+        prog = compile_program(BRANCHY)
+        # 4096 ≫ 144 strands → every step is one full block (fast path);
+        # tiny blocks force the gather/scatter path
+        fast = prog.run(block_size=4096)
+        slow = prog.run(block_size=144)
+        _results_equal(fast, slow)
+
+    def test_outputs_writeable_and_private(self):
+        prog = compile_program(BRANCHY)
+        res = prog.run(block_size=4096)
+        arrs = list(res.outputs.values())
+        for arr in arrs:
+            assert arr.flags.writeable
+        for i, a in enumerate(arrs):
+            for b in arrs[i + 1:]:
+                assert not np.may_share_memory(a, b)
+
+
+def test_write_nrrd_roundtrip_under_process(tmp_path, noise32):
+    """End-to-end CLI: compile, run under the process scheduler, save."""
+    src = tmp_path / "prog.diderot"
+    src.write_text(PROBING, encoding="utf-8")
+    write_nrrd(str(tmp_path / "data.nrrd"), noise32)
+    out = str(tmp_path / "res")
+    code = main([str(src), "--scheduler", "process", "--workers", "2",
+                 "--out", out])
+    assert code == 0
+    from repro.nrrd import read_nrrd
+
+    img = read_nrrd(f"{out}-v.nrrd")
+    assert img.sizes == (10, 10)
