@@ -9,7 +9,7 @@ setting of input variables" (§3.3.1) and its runtime writes program output
                                     [--scheduler seq|thread|process]
                                     [--workers N|auto] [--block-size N]
                                     [--out PREFIX] [--text]
-                                    [--emit-python] [--stats]
+                                    [--emit-python] [--stats] [--check]
                                     [--trace FILE.json] [--profile]
 
 Each output variable is written to ``PREFIX-<name>.nrrd`` (or ``.txt``
@@ -69,6 +69,9 @@ def main(argv: list[str] | None = None) -> int:
                          "compile and run (also via REPRO_TRACE=FILE)")
     ap.add_argument("--profile", action="store_true",
                     help="print a compiler-pass / super-step profile summary")
+    ap.add_argument("--check", action="store_true",
+                    help="run the IR validator after every compiler pass "
+                         "(also via REPRO_CHECK=1)")
     args = ap.parse_args(argv)
 
     try:
@@ -80,7 +83,8 @@ def main(argv: list[str] | None = None) -> int:
     tracer = Tracer() if (args.trace or args.profile) else None
 
     try:
-        prog = compile_file(args.program, precision=args.precision, tracer=tracer)
+        prog = compile_file(args.program, precision=args.precision, tracer=tracer,
+                            check=True if args.check else None)
     except (DiderotError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

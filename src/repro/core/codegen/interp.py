@@ -64,17 +64,23 @@ class HighInterpreter:
                 f"{func.name} expects {len(func.params)} arguments, got {len(args)}"
             )
         env: dict[int, object] = {p.id: a for p, a in zip(func.params, args)}
-        self._run_body(func.body, env)
+        # mirror generated code: both if-arms run predicated, so dead lanes
+        # may raise IEEE flags whose results the φ selects drop
+        with np.errstate(all="ignore"):
+            self._run_body(func.body, env)
         return tuple(env[r.id] for r in func.results)
 
-    def _run_body(self, body: Body, env: dict) -> None:
+    def _run_body(self, body: Body, env: dict, live=None) -> None:
         for item in body.items:
             if isinstance(item, Instr):
-                env[item.results[0].id] = self._eval(item, env)
+                env[item.results[0].id] = self._eval(item, env, live)
             else:
                 cond = env[item.cond.id]
-                self._run_body(item.then_body, env)
-                self._run_body(item.else_body, env)
+                live_t = cond if live is None else np.logical_and(live, cond)
+                live_f = (np.logical_not(cond) if live is None
+                          else np.logical_and(live, np.logical_not(cond)))
+                self._run_body(item.then_body, env, live_t)
+                self._run_body(item.else_body, env, live_f)
                 for phi in item.phis:
                     env[phi.result.id] = rt.select(
                         cond,
@@ -83,7 +89,7 @@ class HighInterpreter:
                         _order(phi.result.ty),
                     )
 
-    def _eval(self, instr: Instr, env: dict):
+    def _eval(self, instr: Instr, env: dict, live=None):
         op = instr.op
         a = [env[x.id] for x in instr.args]
         tys = [x.ty for x in instr.args]
@@ -104,10 +110,10 @@ class HighInterpreter:
             return rt.scalar_broadcast_mul(a[0], a[1], _order(tys[0]), _order(tys[1]))
         if op == "div":
             if instr.results[0].ty == INT:
-                return rt.idiv(a[0], a[1])
+                return rt.idiv(a[0], a[1], live=live)
             return rt.scalar_broadcast_div(a[0], a[1], _order(tys[0]), _order(tys[1]))
         if op == "mod":
-            return rt.imod(a[0], a[1])
+            return rt.imod(a[0], a[1], live=live)
         if op == "neg":
             return -np.asarray(a[0]) if isinstance(a[0], np.ndarray) else -a[0]
         if op == "pow":

@@ -86,31 +86,64 @@ def _count(func) -> int:
     return sum(1 for _ in func.body.instructions())
 
 
-def _optimize(func, vocab, opts: OptOptions, tracer, ir: str) -> None:
+def _optimize(func, vocab, opts: OptOptions, tracer, ir: str, verify=None) -> None:
     if opts.contraction:
         with tracer.span("contraction", cat="pass", func=func.name, ir=ir):
             contract(func, vocab)
+        if verify is not None:
+            verify(func, ir, "contraction")
     if opts.value_numbering:
         with tracer.span("value-numbering", cat="pass", func=func.name, ir=ir) as sp:
             sp.set("removed", value_number(func))
+        if verify is not None:
+            verify(func, ir, "value-numbering")
     if opts.contraction:
         with tracer.span("contraction", cat="pass", func=func.name, ir=ir):
             contract(func, vocab)
+        if verify is not None:
+            verify(func, ir, "contraction")
 
 
 def compile_to_source(
     source: str,
     optimize: OptOptions | None = None,
     tracer=None,
+    check: bool | None = None,
 ) -> tuple[str, HighProgram, CompileStats]:
     """Compile Diderot source to generated Python source + metadata.
 
     ``tracer`` receives one span per compiler pass; when omitted (or
     disabled) an internal tracer collects the same events so the returned
     :class:`CompileStats` is always populated.
+
+    ``check`` enables pass-boundary IR validation
+    (:mod:`repro.core.verify`): after every pass the current function is
+    re-validated (SSA well-formedness + per-op type/shape signatures),
+    and a violation raises a :class:`~repro.errors.CompileError` naming
+    the pass that broke the invariant.  Defaults to the ``REPRO_CHECK``
+    environment variable.  Each check emits one ``cat="check"`` span.
     """
+    from repro.core.verify import check_enabled, verify_func
+
     opts = optimize or OptOptions()
     tr = tracer if (tracer is not None and tracer.enabled) else Tracer()
+    if check is None:
+        check = check_enabled()
+    hp = None
+
+    def _verify(fn, ir: str, after: str) -> None:
+        if not check:
+            return
+        with tr.span("verify", cat="check", func=fn.name, ir=ir, after=after):
+            try:
+                verify_func(fn, ir, images=hp.images if hp else None)
+            except CompileError as exc:
+                raise CompileError(
+                    f"IR validation failed after pass {after!r} "
+                    f"({ir} IR, function {fn.name!r}): {exc}"
+                ) from exc
+
+    verify = _verify if check else None
     with tr.span("parse", cat="pass"):
         prog = parse_program(source)
     with tr.span("typecheck", cat="pass"):
@@ -120,16 +153,19 @@ def compile_to_source(
     funcs = HighBuilder.all_funcs(hp)
     for fn in funcs:
         tr.instant("instr-count", cat="count", func=fn.name, ir="high", value=_count(fn))
-        _optimize(fn, irops.HIGH, opts, tr, "high")
+        _verify(fn, "high", "highir")
+        _optimize(fn, irops.HIGH, opts, tr, "high", verify=verify)
         with tr.span("midir", cat="pass", func=fn.name):
             to_mid(fn, hp.images)
+        _verify(fn, "mid", "midir")
         tr.instant("instr-count", cat="count", func=fn.name, ir="mid-unopt",
                    value=_count(fn))
-        _optimize(fn, irops.MID, opts, tr, "mid")
+        _optimize(fn, irops.MID, opts, tr, "mid", verify=verify)
         tr.instant("instr-count", cat="count", func=fn.name, ir="mid", value=_count(fn))
         with tr.span("lowir", cat="pass", func=fn.name):
             to_low(fn)
-        _optimize(fn, irops.LOW, opts, tr, "low")
+        _verify(fn, "low", "lowir")
+        _optimize(fn, irops.LOW, opts, tr, "low", verify=verify)
         tr.instant("instr-count", cat="count", func=fn.name, ir="low", value=_count(fn))
     with tr.span("codegen", cat="pass"):
         source_out = generate_module(funcs)
@@ -142,6 +178,7 @@ def compile_program(
     optimize: OptOptions | None = None,
     search_path: str = ".",
     tracer=None,
+    check: bool | None = None,
 ):
     """Compile Diderot source text into a runnable Program.
 
@@ -161,13 +198,17 @@ def compile_program(
         Optional :class:`repro.obs.Tracer` that receives the compiler-pass
         spans (pass the same tracer to :meth:`Program.run
         <repro.runtime.program.Program.run>` for one unified timeline).
+    check:
+        Run the IR validators at every pass boundary (``--check``);
+        defaults to the ``REPRO_CHECK`` environment variable.
     """
     from repro.runtime.program import Program
 
     if precision not in ("single", "double"):
         raise CompileError(f"precision must be 'single' or 'double', got {precision!r}")
     dtype = np.float32 if precision == "single" else np.float64
-    gen_source, hp, stats = compile_to_source(source, optimize, tracer=tracer)
+    gen_source, hp, stats = compile_to_source(source, optimize, tracer=tracer,
+                                              check=check)
     namespace = load_module(gen_source)
     return Program(
         high=hp,

@@ -1,0 +1,239 @@
+"""Metamorphic checks of the Figure-10 normalization identities.
+
+The compiler never evaluates a field expression directly: the HighIR
+builder rewrites every field expression into the normalized form of
+Figure 9b using the Figure-10 identities, and only then synthesizes probe
+code.  These identities are *semantic* claims —
+
+* ``(f₁ + f₂)(x) = f₁(x) + f₂(x)``
+* ``∇(e·f) = e·∇f`` and ``∇(f₁ + f₂) = ∇f₁ + ∇f₂``
+* ``∇(V ⊛ ∇ⁱh) = V ⊛ ∇ⁱ⁺¹h``
+* Hessian symmetry ``(∇⊗∇F)ᵀ = ∇⊗∇F``
+
+— so each check here compiles a small Diderot program that computes both
+sides *numerically* (the left through the normalized field, the right
+through independent probes or central finite differences) at seeded
+pseudo-random positions on smooth synthetic images, and compares.  A
+normalization bug that produces well-formed but wrong IR — invisible to
+the structural validator — shows up here as a numeric mismatch.
+
+Positions are generated inside the programs themselves (a seeded
+sin-hash of the strand index, coefficients baked into the source), so
+one compiled program covers all sample positions in a single run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.image import Image, Orientation
+
+#: world-space margin kept from the image border so every probe position
+#: is inside the field domain at bspln3 support
+_MARGIN = 4.0
+
+
+@dataclass
+class PropertyResult:
+    name: str
+    identity: str
+    max_err: float
+    tol: float
+    n_positions: int
+
+    @property
+    def ok(self) -> bool:
+        return self.max_err <= self.tol
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        return (f"{mark} {self.name}: {self.identity}  "
+                f"max|lhs-rhs| = {self.max_err:.3e}  (tol {self.tol:.0e}, "
+                f"{self.n_positions} positions)")
+
+
+def _bump_image(size: int, seed: int) -> Image:
+    """A smooth random sum-of-Gaussians phantom on an identity grid."""
+    rng = np.random.default_rng(seed)
+    ax = np.arange(size, dtype=np.float64)
+    x, y = np.meshgrid(ax, ax, indexing="ij")
+    img = np.zeros((size, size))
+    for _ in range(6):
+        cx, cy = rng.uniform(0.2 * size, 0.8 * size, 2)
+        sx, sy = rng.uniform(0.08 * size, 0.25 * size, 2)
+        amp = rng.uniform(-30.0, 60.0)
+        img += amp * np.exp(-(((x - cx) / sx) ** 2 + ((y - cy) / sy) ** 2))
+    return Image(img, dim=2, orientation=Orientation.axis_aligned(2))
+
+
+def _position_stmts(rng: random.Random, size: int) -> str:
+    """Diderot statements computing a pseudo-random in-domain ``vec2 p``.
+
+    ``frac(sin(a·i + b)·c)`` is uniform enough for sampling and — being
+    computed in-language — identical across every execution engine.
+    """
+    lo = _MARGIN
+    w = size - 1 - 2 * _MARGIN
+    lines = []
+    for axis in (0, 1):
+        a = rng.uniform(7.0, 23.0)
+        b = rng.uniform(0.0, 6.28)
+        lines.append(f"real u{axis} = sin(real(i) * {a:.6f} + {b:.6f})"
+                     f" * 43758.5453;")
+        lines.append(f"real q{axis} = {lo:.1f} + {w:.1f} *"
+                     f" (u{axis} - floor(u{axis}));")
+    lines.append("vec2 p = [q0, q1];")
+    return "\n                    ".join(lines)
+
+
+_TEMPLATE = """
+    image(2)[] imgA = load("a.nrrd");
+    image(2)[] imgB = load("b.nrrd");
+    field#2(2)[] F1 = imgA ⊛ bspln3;
+    field#2(2)[] F2 = imgB ⊛ bspln3;
+{field_defs}
+    strand S (int i) {{
+        output {out_ty} lhs = {zero};
+        output {out_ty} rhs = {zero};
+        update {{
+            {positions}
+            lhs = {lhs};
+            rhs = {rhs};
+            stabilize;
+        }}
+    }}
+    initially [ S(i) | i in 0 .. {n_last} ];
+"""
+
+_ZEROS = {
+    "real": "0.0",
+    "vec2": "[0.0, 0.0]",
+    "tensor[2,2]": "[[0.0, 0.0], [0.0, 0.0]]",
+}
+
+
+def _run_check(
+    *,
+    name: str,
+    identity: str,
+    out_ty: str,
+    lhs: str,
+    rhs: str,
+    field_defs: str,
+    positions: str,
+    images: dict[str, Image],
+    n_positions: int,
+    tol: float,
+) -> PropertyResult:
+    from repro.core.driver import compile_program
+
+    src = _TEMPLATE.format(
+        field_defs=field_defs,
+        out_ty=out_ty,
+        zero=_ZEROS[out_ty],
+        positions=positions,
+        lhs=lhs,
+        rhs=rhs,
+        n_last=n_positions - 1,
+    )
+    prog = compile_program(src)
+    for slot, image in images.items():
+        prog.bind_image(slot, image)
+    out = prog.run(max_steps=4).outputs
+    max_err = float(np.max(np.abs(out["lhs"] - out["rhs"])))
+    return PropertyResult(name, identity, max_err, tol, n_positions)
+
+
+def run_properties(
+    seed: int = 0, n_positions: int = 24, size: int = 40
+) -> list[PropertyResult]:
+    """Run every Figure-10 identity check; returns one result per check.
+
+    Probes go through the full pipeline (normalization → probe synthesis
+    → kernel expansion → codegen), so the comparison exercises exactly
+    the rewrites the identities license.
+    """
+    rng = random.Random(seed)
+    images = {"imgA": _bump_image(size, seed * 2 + 1),
+              "imgB": _bump_image(size, seed * 2 + 2)}
+    scale = round(rng.uniform(0.25, 3.0), 4)
+    h = 1e-3  # central-difference step; O(h²) error ≪ the 1e-4 tolerances
+
+    def pos() -> str:
+        return _position_stmts(rng, size)
+
+    common = dict(images=images, n_positions=n_positions)
+    results = [
+        _run_check(
+            name="probe-sum",
+            identity="(f1 + f2)(x) = f1(x) + f2(x)",
+            out_ty="real",
+            field_defs="    field#2(2)[] G = F1 + F2;",
+            lhs="G(p)", rhs="F1(p) + F2(p)",
+            positions=pos(), tol=1e-10, **common,
+        ),
+        _run_check(
+            name="grad-scale",
+            identity="∇(e·f) = e·∇f",
+            out_ty="vec2",
+            field_defs=f"    field#2(2)[] G = {scale} * F1;",
+            lhs="∇G(p)", rhs=f"{scale} * (∇F1(p))",
+            positions=pos(), tol=1e-10, **common,
+        ),
+        _run_check(
+            name="grad-sum",
+            identity="∇(f1 + f2) = ∇f1 + ∇f2",
+            out_ty="vec2",
+            field_defs="    field#2(2)[] G = F1 + F2;",
+            lhs="∇G(p)", rhs="∇F1(p) + ∇F2(p)",
+            positions=pos(), tol=1e-10, **common,
+        ),
+        _run_check(
+            name="conv-deriv",
+            identity="∇(V ⊛ h) = V ⊛ ∇h  (vs central differences)",
+            out_ty="vec2",
+            field_defs="",
+            lhs="∇F1(p)",
+            rhs=(f"[(F1(p + [{h}, 0.0]) - F1(p - [{h}, 0.0])) / {2 * h}, "
+                 f"(F1(p + [0.0, {h}]) - F1(p - [0.0, {h}])) / {2 * h}]"),
+            positions=pos(), tol=1e-4, **common,
+        ),
+        _run_check(
+            name="conv-deriv-2",
+            identity="∇(V ⊛ ∇h) = V ⊛ ∇²h  (vs central differences)",
+            out_ty="tensor[2,2]",
+            field_defs="",
+            lhs="∇⊗∇F1(p)",
+            rhs=(f"[(∇F1(p + [{h}, 0.0]) - ∇F1(p - [{h}, 0.0])) / {2 * h}, "
+                 f"(∇F1(p + [0.0, {h}]) - ∇F1(p - [0.0, {h}])) / {2 * h}]"),
+            positions=pos(), tol=1e-4, **common,
+        ),
+    ]
+
+    # Hessian symmetry: H = ∇⊗∇F must equal Hᵀ.  Both triangles reduce to
+    # conv_contract over the same per-axis weight multiset, so after value
+    # numbering they are literally the same instruction — but the check
+    # runs numerically so it also covers the unoptimized pipeline.
+    from repro.core.driver import compile_program
+
+    src = _TEMPLATE.format(
+        field_defs="",
+        out_ty="tensor[2,2]",
+        zero=_ZEROS["tensor[2,2]"],
+        positions=pos(),
+        lhs="∇⊗∇F1(p)",
+        rhs="transpose(∇⊗∇F1(p))",
+        n_last=n_positions - 1,
+    )
+    prog = compile_program(src)
+    for slot, image in images.items():
+        prog.bind_image(slot, image)
+    out = prog.run(max_steps=4).outputs
+    err = float(np.max(np.abs(out["lhs"] - out["rhs"])))
+    results.append(PropertyResult(
+        "hessian-symmetry", "(∇⊗∇F)ᵀ = ∇⊗∇F", err, 1e-12, n_positions,
+    ))
+    return results

@@ -1,0 +1,583 @@
+"""Per-level IR validators: SSA well-formedness + type/shape consistency.
+
+:func:`repro.core.ir.base.validate` already enforces structural SSA
+(def-before-use in dominance order, single assignment) and vocabulary
+membership — which is also the level-legality check: a ``probe`` surviving
+into MidIR or a ``weights`` surviving into LowIR is an op outside the
+level's vocabulary.  :func:`verify_func` layers a full type/shape checker
+on top: every instruction's result type is recomputed from its argument
+types and attributes against the op's signature and compared with the
+recorded type, so a pass that rewrites an instruction inconsistently is
+caught at the pass boundary instead of as a shape error deep inside
+generated NumPy code.
+
+Types are the semantic :class:`~repro.core.ty.types.Ty` objects at HighIR
+level plus the lowered tags ``("ivec", d)``, ``("vox", image, support)``
+and ``("weights", n)`` introduced by probe synthesis and kernel expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ir import ops as irops
+from repro.core.ir.base import Body, Func, Instr, validate
+from repro.core.ty.types import BOOL, INT, REAL, STRING, TensorTy
+from repro.errors import CompileError
+from repro.kernels import Kernel
+
+#: level key → (vocabulary, display name)
+LEVELS = {
+    "high": (irops.HIGH, "HighIR"),
+    "mid": (irops.MID, "MidIR"),
+    "low": (irops.LOW, "LowIR"),
+}
+
+_MATH_1 = {
+    "sqrt", "sin", "cos", "tan", "asin", "acos", "atan", "exp", "log",
+    "floor", "ceil",
+}
+_MATH_2 = {"atan2", "fmod"}
+_CMP_ORDERED = {"lt", "le", "gt", "ge"}
+
+
+def _is_tensor(ty) -> bool:
+    return isinstance(ty, TensorTy)
+
+
+def _shape(ty) -> tuple:
+    return ty.shape
+
+
+class _TypeChecker:
+    def __init__(self, func: Func, level: str, display: str, images=None):
+        self.func = func
+        self.level = level
+        self.display = display
+        self.images = images
+
+    def fail(self, instr: Instr, msg: str) -> None:
+        raise CompileError(
+            f"{self.display}:{self.func.name}: {msg} in `{instr!r}`"
+        )
+
+    def slot(self, instr: Instr, name: str):
+        """The ImageSlot for an image attribute, or None if unbound."""
+        if self.images is None:
+            return None
+        if name not in self.images:
+            self.fail(instr, f"unknown image slot {name!r}")
+        return self.images[name]
+
+    # -- entry -----------------------------------------------------------------
+
+    def run(self) -> None:
+        self._walk(self.func.body)
+
+    def _walk(self, body: Body) -> None:
+        for item in body.items:
+            if isinstance(item, Instr):
+                self._check(item)
+            else:
+                if item.cond.ty != BOOL:
+                    raise CompileError(
+                        f"{self.display}:{self.func.name}: if-condition has "
+                        f"type {item.cond.ty}, expected bool"
+                    )
+                self._walk(item.then_body)
+                self._walk(item.else_body)
+                for phi in item.phis:
+                    tys = {repr(phi.then_val.ty), repr(phi.else_val.ty),
+                           repr(phi.result.ty)}
+                    if (phi.then_val.ty != phi.result.ty
+                            or phi.else_val.ty != phi.result.ty):
+                        raise CompileError(
+                            f"{self.display}:{self.func.name}: phi operand/"
+                            f"result types disagree ({', '.join(sorted(tys))}) "
+                            f"in `{phi!r}`"
+                        )
+
+    def _check(self, instr: Instr) -> None:
+        if len(instr.results) != 1:
+            self.fail(instr, f"expected exactly one result, got {len(instr.results)}")
+        expected = self._infer(instr)
+        if expected is not None and expected != instr.results[0].ty:
+            self.fail(
+                instr,
+                f"result type {instr.results[0].ty} does not match the "
+                f"op signature (expected {expected})",
+            )
+
+    # -- per-op signatures -----------------------------------------------------
+
+    def _infer(self, instr: Instr):
+        """Recompute the result type; None means "no constraint derivable"."""
+        op = instr.op
+        tys = [a.ty for a in instr.args]
+        method = getattr(self, f"_op_{op}", None)
+        if method is not None:
+            return method(instr, tys)
+        if op in _MATH_1:
+            self._want(instr, tys, (REAL,))
+            return REAL
+        if op in _MATH_2:
+            self._want(instr, tys, (REAL, REAL))
+            return REAL
+        if op in _CMP_ORDERED:
+            if tys not in ([INT, INT], [REAL, REAL]):
+                self.fail(instr, f"ordered comparison of {tys[0]} and {tys[1]}")
+            return BOOL
+        self.fail(instr, f"no signature for op {op!r}")
+
+    def _want(self, instr: Instr, tys: list, want: tuple) -> None:
+        if len(tys) != len(want) or any(t != w for t, w in zip(tys, want)):
+            got = ", ".join(str(t) for t in tys)
+            exp = ", ".join(str(w) for w in want)
+            self.fail(instr, f"argument types ({got}) do not match ({exp})")
+
+    def _matrix(self, instr: Instr, ty) -> tuple:
+        if not (_is_tensor(ty) and len(_shape(ty)) == 2):
+            self.fail(instr, f"expected a matrix argument, got {ty}")
+        return _shape(ty)
+
+    # arithmetic ---------------------------------------------------------------
+
+    def _op_const(self, instr, tys):
+        if tys:
+            self.fail(instr, "const takes no arguments")
+        if "value" not in instr.attrs:
+            self.fail(instr, "const is missing its value attribute")
+        v = instr.attrs["value"]
+        rty = instr.results[0].ty
+        # constant folding stores raw fold results, so NumPy scalar types
+        # appear alongside the Python ones
+        if isinstance(v, (bool, np.bool_)):
+            return BOOL
+        if isinstance(v, (float, np.floating)):
+            return REAL
+        if isinstance(v, (int, np.integer)):
+            return INT
+        if isinstance(v, str):
+            return STRING
+        if isinstance(v, np.ndarray):
+            if _is_tensor(rty):
+                if tuple(v.shape) != tuple(_shape(rty)):
+                    self.fail(
+                        instr,
+                        f"constant array shape {tuple(v.shape)} does not "
+                        f"match {rty}",
+                    )
+                return rty
+            if isinstance(rty, tuple) and rty and rty[0] in ("weights", "ivec"):
+                # folded vec_cons / floor_i results keep their lowered tag
+                n = rty[1]
+                if v.shape[-1:] != (n,):
+                    self.fail(
+                        instr,
+                        f"constant array shape {tuple(v.shape)} does not "
+                        f"match tag {rty}",
+                    )
+                return rty
+            self.fail(instr, f"constant array with non-tensor type {rty}")
+        self.fail(instr, f"unsupported constant {type(v).__name__}")
+
+    def _addsub(self, instr, tys):
+        if tys == [INT, INT]:
+            return INT
+        if len(tys) == 2 and _is_tensor(tys[0]) and tys[0] == tys[1]:
+            return tys[0]
+        self.fail(instr, f"cannot add/subtract {tys[0]} and {tys[1]}")
+
+    _op_add = _addsub
+    _op_sub = _addsub
+
+    def _op_mul(self, instr, tys):
+        if tys == [INT, INT]:
+            return INT
+        if len(tys) == 2 and all(map(_is_tensor, tys)):
+            s0, s1 = _shape(tys[0]), _shape(tys[1])
+            if s0 == ():
+                return tys[1]
+            if s1 == ():
+                return tys[0]
+        self.fail(instr, f"cannot multiply {tys[0]} and {tys[1]} "
+                         "(one operand must be a scalar)")
+
+    def _op_div(self, instr, tys):
+        if tys == [INT, INT]:
+            return INT
+        if (len(tys) == 2 and all(map(_is_tensor, tys))
+                and _shape(tys[1]) == ()):
+            return tys[0]
+        self.fail(instr, f"cannot divide {tys[0]} by {tys[1]}")
+
+    def _op_mod(self, instr, tys):
+        self._want(instr, tys, (INT, INT))
+        return INT
+
+    def _op_neg(self, instr, tys):
+        if tys == [INT]:
+            return INT
+        if len(tys) == 1 and _is_tensor(tys[0]):
+            return tys[0]
+        self.fail(instr, f"cannot negate {tys[0]}")
+
+    def _op_pow(self, instr, tys):
+        if len(tys) == 2 and tys[0] == REAL and tys[1] in (REAL, INT):
+            return REAL
+        self.fail(instr, f"pow of {tys} (expected real^real or real^int)")
+
+    def _eqne(self, instr, tys):
+        if len(tys) == 2 and tys[0] == tys[1] and tys[0] in (INT, REAL, BOOL, STRING):
+            return BOOL
+        self.fail(instr, f"cannot compare {tys[0]} and {tys[1]} for equality")
+
+    _op_eq = _eqne
+    _op_ne = _eqne
+
+    def _logic2(self, instr, tys):
+        self._want(instr, tys, (BOOL, BOOL))
+        return BOOL
+
+    _op_and = _logic2
+    _op_or = _logic2
+
+    def _op_not(self, instr, tys):
+        self._want(instr, tys, (BOOL,))
+        return BOOL
+
+    def _op_select(self, instr, tys):
+        if len(tys) != 3 or tys[0] != BOOL:
+            self.fail(instr, "select expects (bool, T, T)")
+        if tys[1] != tys[2]:
+            self.fail(instr, f"select branches disagree: {tys[1]} vs {tys[2]}")
+        return tys[1]
+
+    # tensor ops ---------------------------------------------------------------
+
+    def _op_dot(self, instr, tys):
+        if len(tys) == 2 and all(map(_is_tensor, tys)):
+            s0, s1 = _shape(tys[0]), _shape(tys[1])
+            if len(s0) == 1 and s1 == s0:
+                return REAL
+            if len(s0) == 2 and len(s1) == 1 and s0[1] == s1[0]:
+                return TensorTy((s0[0],))
+            if len(s0) == 1 and len(s1) == 2 and s0[0] == s1[0]:
+                return TensorTy((s1[1],))
+            if len(s0) == 2 and len(s1) == 2 and s0[1] == s1[0]:
+                return TensorTy((s0[0], s1[1]))
+        self.fail(instr, f"dot is not defined for {tys[0]} and {tys[1]}")
+
+    def _op_cross(self, instr, tys):
+        if len(tys) == 2 and tys[0] == tys[1]:
+            if tys[0] == TensorTy((3,)):
+                return TensorTy((3,))
+            if tys[0] == TensorTy((2,)):
+                return REAL
+        self.fail(instr, f"cross is not defined for {tys}")
+
+    def _op_outer(self, instr, tys):
+        if (len(tys) == 2 and all(map(_is_tensor, tys))
+                and len(_shape(tys[0])) == 1 and len(_shape(tys[1])) == 1):
+            return TensorTy((_shape(tys[0])[0], _shape(tys[1])[0]))
+        self.fail(instr, f"outer product of {tys}")
+
+    def _op_norm(self, instr, tys):
+        if len(tys) != 1 or not _is_tensor(tys[0]):
+            self.fail(instr, f"norm of {tys}")
+        if instr.attrs.get("order") != len(_shape(tys[0])):
+            self.fail(
+                instr,
+                f"norm order attribute {instr.attrs.get('order')!r} does not "
+                f"match operand order {len(_shape(tys[0]))}",
+            )
+        return REAL
+
+    def _square(self, instr, tys):
+        n, m = self._matrix(instr, tys[0])
+        if n != m:
+            self.fail(instr, f"expected a square matrix, got {tys[0]}")
+        return n
+
+    def _op_trace(self, instr, tys):
+        self._square(instr, tys)
+        return REAL
+
+    def _op_det(self, instr, tys):
+        n = self._square(instr, tys)
+        if n > 3:
+            self.fail(instr, f"det supports up to 3x3 matrices, got {n}x{n}")
+        return REAL
+
+    def _op_transpose(self, instr, tys):
+        n, m = self._matrix(instr, tys[0])
+        return TensorTy((m, n))
+
+    def _op_evals(self, instr, tys):
+        n = self._square(instr, tys)
+        return TensorTy((n,))
+
+    def _op_evecs(self, instr, tys):
+        n = self._square(instr, tys)
+        return TensorTy((n, n))
+
+    def _op_normalize_v(self, instr, tys):
+        if len(tys) == 1 and _is_tensor(tys[0]) and len(_shape(tys[0])) == 1:
+            return tys[0]
+        self.fail(instr, f"normalize of {tys}")
+
+    def _op_tensor_cons(self, instr, tys):
+        if not tys:
+            self.fail(instr, "empty tensor construction")
+        first = tys[0]
+        if not _is_tensor(first) or any(t != first for t in tys):
+            self.fail(instr, f"tensor elements disagree: {tys}")
+        return TensorTy((len(tys),) + _shape(first))
+
+    def _op_tensor_index(self, instr, tys):
+        indices = tuple(instr.attrs.get("indices", ()))
+        if len(tys) != 1 or not _is_tensor(tys[0]):
+            self.fail(instr, f"cannot index {tys}")
+        shape = _shape(tys[0])
+        if not indices or len(indices) > len(shape):
+            self.fail(
+                instr,
+                f"{len(indices)} indices into a tensor of order {len(shape)}",
+            )
+        for i, size in zip(indices, shape):
+            if not 0 <= i < size:
+                self.fail(instr, f"index {i} out of range for axis of size {size}")
+        return TensorTy(shape[len(indices):])
+
+    def _op_identity(self, instr, tys):
+        n = instr.attrs.get("n")
+        if tys or not isinstance(n, int) or n < 1:
+            self.fail(instr, f"identity with n={n!r}")
+        return TensorTy((n, n))
+
+    def _minmax(self, instr, tys):
+        if tys in ([INT, INT], [REAL, REAL]):
+            return tys[0]
+        self.fail(instr, f"min/max of {tys}")
+
+    _op_min = _minmax
+    _op_max = _minmax
+
+    def _op_abs(self, instr, tys):
+        if tys in ([INT], [REAL]):
+            return tys[0]
+        self.fail(instr, f"abs of {tys}")
+
+    def _op_clamp(self, instr, tys):
+        self._want(instr, tys, (REAL, REAL, REAL))
+        return REAL
+
+    def _op_lerp(self, instr, tys):
+        if (len(tys) == 3 and _is_tensor(tys[0]) and tys[0] == tys[1]
+                and tys[2] == REAL):
+            return tys[0]
+        self.fail(instr, f"lerp of {tys}")
+
+    def _op_int_to_real(self, instr, tys):
+        self._want(instr, tys, (INT,))
+        return REAL
+
+    def _op_real_to_int(self, instr, tys):
+        self._want(instr, tys, (REAL,))
+        return INT
+
+    # HighIR field ops ---------------------------------------------------------
+
+    def _pos_check(self, instr, ty, dim) -> None:
+        if dim == 1:
+            if ty not in (REAL, TensorTy((1,))):
+                self.fail(instr, f"1-D probe position has type {ty}")
+        elif ty != TensorTy((dim,)):
+            self.fail(instr, f"probe position has type {ty}, expected "
+                             f"tensor[{dim}]")
+
+    def _op_probe(self, instr, tys):
+        if self.level != "high":
+            self.fail(instr, "probe is only legal in HighIR")
+        if len(tys) != 1:
+            self.fail(instr, "probe takes exactly one position argument")
+        kernel = instr.attrs.get("kernel")
+        deriv = instr.attrs.get("deriv")
+        out_shape = tuple(instr.attrs.get("out_shape", ()))
+        if not isinstance(kernel, Kernel):
+            self.fail(instr, f"probe kernel attribute is {kernel!r}")
+        if not isinstance(deriv, int) or deriv < 0:
+            self.fail(instr, f"probe deriv attribute is {deriv!r}")
+        if kernel.continuity < deriv:
+            self.fail(
+                instr,
+                f"probe differentiates a C{kernel.continuity} kernel "
+                f"{deriv} times",
+            )
+        slot = self.slot(instr, instr.attrs.get("image"))
+        if slot is not None:
+            self._pos_check(instr, tys[0], slot.dim)
+            want = tuple(slot.shape) + (slot.dim,) * deriv
+            if out_shape != want:
+                self.fail(
+                    instr,
+                    f"probe out_shape {out_shape} does not match image "
+                    f"shape {want}",
+                )
+        return TensorTy(out_shape)
+
+    def _op_inside(self, instr, tys):
+        if self.level != "high":
+            self.fail(instr, "inside is only legal in HighIR")
+        if len(tys) != 1:
+            self.fail(instr, "inside takes exactly one position argument")
+        support = instr.attrs.get("support")
+        if not isinstance(support, int) or support < 1:
+            self.fail(instr, f"inside support attribute is {support!r}")
+        slot = self.slot(instr, instr.attrs.get("image"))
+        if slot is not None:
+            self._pos_check(instr, tys[0], slot.dim)
+        return BOOL
+
+    # MidIR/LowIR probe machinery ----------------------------------------------
+
+    def _vec_arg(self, instr, ty) -> int:
+        if not (_is_tensor(ty) and len(_shape(ty)) == 1):
+            self.fail(instr, f"expected an index vector, got {ty}")
+        return _shape(ty)[0]
+
+    def _op_to_index(self, instr, tys):
+        d = self._vec_arg(instr, tys[0])
+        slot = self.slot(instr, instr.attrs.get("image"))
+        if slot is not None and slot.dim != d:
+            self.fail(instr, f"to_index of a {d}-vector into a "
+                             f"{slot.dim}-D image")
+        return TensorTy((d,))
+
+    def _op_floor_i(self, instr, tys):
+        d = self._vec_arg(instr, tys[0])
+        return ("ivec", d)
+
+    def _op_fract(self, instr, tys):
+        d = self._vec_arg(instr, tys[0])
+        return TensorTy((d,))
+
+    def _op_gather(self, instr, tys):
+        image = instr.attrs.get("image")
+        support = instr.attrs.get("support")
+        if not isinstance(support, int) or support < 1:
+            self.fail(instr, f"gather support attribute is {support!r}")
+        if len(tys) != 1 or not (isinstance(tys[0], tuple)
+                                 and tys[0][:1] == ("ivec",)):
+            self.fail(instr, f"gather expects an ivec argument, got {tys}")
+        slot = self.slot(instr, image)
+        if slot is not None and slot.dim != tys[0][1]:
+            self.fail(instr, f"gather index dimension {tys[0][1]} does not "
+                             f"match {slot.dim}-D image {image!r}")
+        return ("vox", image, support)
+
+    def _op_weights(self, instr, tys):
+        if self.level != "mid":
+            self.fail(instr, "weights is only legal in MidIR "
+                             "(LowIR expands it to horner)")
+        kernel = instr.attrs.get("kernel")
+        deriv = instr.attrs.get("deriv")
+        if not isinstance(kernel, Kernel):
+            self.fail(instr, f"weights kernel attribute is {kernel!r}")
+        if not isinstance(deriv, int) or deriv < 0:
+            self.fail(instr, f"weights deriv attribute is {deriv!r}")
+        self._want(instr, tys, (REAL,))
+        return ("weights", 2 * kernel.support)
+
+    def _op_conv_contract(self, instr, tys):
+        if not tys or not (isinstance(tys[0], tuple) and tys[0][:1] == ("vox",)):
+            self.fail(instr, f"conv_contract expects a vox argument, got "
+                             f"{tys[:1]}")
+        _, image, support = tys[0]
+        for t in tys[1:]:
+            if t != ("weights", 2 * support):
+                self.fail(
+                    instr,
+                    f"weight argument type {t} does not match support "
+                    f"{support}",
+                )
+        slot = self.slot(instr, image)
+        if slot is not None:
+            if len(tys) - 1 != slot.dim:
+                self.fail(
+                    instr,
+                    f"{len(tys) - 1} weight vectors for a {slot.dim}-D image",
+                )
+            return TensorTy(tuple(slot.shape))
+        return None
+
+    def _op_deriv_assemble(self, instr, tys):
+        tshape = tuple(instr.attrs.get("tshape", ()))
+        dim = instr.attrs.get("dim")
+        deriv = instr.attrs.get("deriv")
+        if not isinstance(dim, int) or not isinstance(deriv, int) or deriv < 1:
+            self.fail(instr, f"deriv_assemble attrs dim={dim!r} deriv={deriv!r}")
+        if len(tys) != dim ** deriv:
+            self.fail(
+                instr,
+                f"{len(tys)} parts for dim={dim}, deriv={deriv} "
+                f"(expected {dim ** deriv})",
+            )
+        want = TensorTy(tshape)
+        for t in tys:
+            if t != want:
+                self.fail(instr, f"part type {t} does not match tshape {tshape}")
+        return TensorTy(tshape + (dim,) * deriv)
+
+    def _op_grad_xform(self, instr, tys):
+        deriv = instr.attrs.get("deriv")
+        if not isinstance(deriv, int) or deriv < 1:
+            self.fail(instr, f"grad_xform deriv attribute is {deriv!r}")
+        if len(tys) != 1 or not _is_tensor(tys[0]):
+            self.fail(instr, f"grad_xform of {tys}")
+        if len(_shape(tys[0])) < deriv:
+            self.fail(
+                instr,
+                f"grad_xform of a {len(_shape(tys[0]))}-order tensor with "
+                f"deriv={deriv}",
+            )
+        self.slot(instr, instr.attrs.get("image"))
+        return tys[0]
+
+    def _op_index_inside(self, instr, tys):
+        d = self._vec_arg(instr, tys[0])
+        support = instr.attrs.get("support")
+        if not isinstance(support, int) or support < 1:
+            self.fail(instr, f"index_inside support attribute is {support!r}")
+        slot = self.slot(instr, instr.attrs.get("image"))
+        if slot is not None and slot.dim != d:
+            self.fail(instr, f"index_inside of a {d}-vector into a "
+                             f"{slot.dim}-D image")
+        return BOOL
+
+    def _op_horner(self, instr, tys):
+        coeffs = instr.attrs.get("coeffs")
+        if not coeffs or not all(isinstance(c, (int, float)) for c in coeffs):
+            self.fail(instr, f"horner coeffs attribute is {coeffs!r}")
+        self._want(instr, tys, (REAL,))
+        return REAL
+
+    def _op_vec_cons(self, instr, tys):
+        if not tys or any(t != REAL for t in tys):
+            self.fail(instr, f"vec_cons of non-scalar arguments {tys}")
+        return ("weights", len(tys))
+
+
+def verify_func(func: Func, level: str, images=None) -> None:
+    """Validate one function at an IR level (``"high"``/``"mid"``/``"low"``).
+
+    Raises :class:`~repro.errors.CompileError` on the first violation:
+    SSA breakage, an op outside the level's vocabulary, or a result type
+    inconsistent with the op's signature.  ``images`` (the driver's
+    ``HighProgram.images``) enables the image-derived shape checks.
+    """
+    if level not in LEVELS:
+        raise CompileError(f"unknown IR level {level!r}")
+    vocab, display = LEVELS[level]
+    validate(func, vocab, display)
+    _TypeChecker(func, level, display, images).run()

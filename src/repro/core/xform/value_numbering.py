@@ -44,8 +44,12 @@ def _attr_key(v) -> object:
     if isinstance(v, np.ndarray):
         return ("ndarray", v.shape, str(v.dtype), v.tobytes())
     if isinstance(v, Kernel):
-        # identity is right: the kernel library interns kernels by object
-        return ("kernel", id(v))
+        # structural identity: two kernels with the same support and
+        # piecewise polynomials compute the same weights, even when they
+        # were constructed through different paths (e.g. bspline(3) vs the
+        # interned KERNELS["bspln3"]).  Keying on id() here missed those
+        # merges.
+        return ("kernel", v.support, tuple(p.coeffs for p in v.pieces))
     if isinstance(v, (list, tuple)):
         return tuple(_attr_key(x) for x in v)
     if isinstance(v, float) and v != v:  # NaN constants never merge

@@ -74,9 +74,15 @@ class Orientation:
         return index @ self._m.T + self.origin
 
     def to_index(self, world: np.ndarray) -> np.ndarray:
-        """Map world-space positions (last axis = coordinates) to index space."""
+        """Map world-space positions (last axis = coordinates) to index space.
+
+        Non-finite positions are legal inputs (the probe safety contract
+        sanitizes them downstream), so the matmul's invalid-value warning
+        is suppressed.
+        """
         world = np.asarray(world, dtype=np.float64)
-        return (world - self.origin) @ self._m_inv.T
+        with np.errstate(invalid="ignore"):
+            return (world - self.origin) @ self._m_inv.T
 
     def is_axis_aligned(self, tol: float = 0.0) -> bool:
         off = self.directions - np.diag(np.diag(self.directions))

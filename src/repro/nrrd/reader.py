@@ -223,6 +223,9 @@ def read_nrrd(path: str, dtype=np.float64) -> Image:
             raise NrrdError(f"{path}: malformed space origin")
         origin = np.array(vec, dtype=np.float64)
 
+    if dtype is None and data.dtype.byteorder not in ("=", "|"):
+        # keep the stored sample type but never leak a foreign byte order
+        data = data.astype(data.dtype.newbyteorder("="))
     return Image(
         np.ascontiguousarray(data),
         dim=dim,

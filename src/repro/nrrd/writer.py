@@ -9,6 +9,7 @@ direction, matching how Teem stores vector- and matrix-valued volumes.
 from __future__ import annotations
 
 import gzip
+import warnings
 
 import numpy as np
 
@@ -36,13 +37,67 @@ def _fmt_vec(v) -> str:
     return "(" + ",".join(repr(float(x)) for x in v) + ")"
 
 
-def write_nrrd(path: str, image, encoding: str = "raw", dtype=None, content: str | None = None) -> None:
+def _checked_cast(data: np.ndarray, dtype) -> np.ndarray:
+    """``astype`` that refuses lossy conversions.
+
+    A plain ``astype`` silently wraps out-of-range values when narrowing
+    to integer types and silently turns NaN into INT_MIN; both would write
+    a structurally valid NRRD holding corrupted samples.  Raise
+    :class:`NrrdError` instead when the cast would lose values: non-finite
+    data into an integer type, out-of-range integers, or float narrowing
+    that overflows to inf.
+    """
+    target = np.dtype(dtype)
+    if target == data.dtype or data.size == 0:
+        return data.astype(target)
+    if target.kind in "iu":
+        if data.dtype.kind == "f" and not np.all(np.isfinite(data)):
+            raise NrrdError(
+                f"cannot cast non-finite values to {target.name} for NRRD "
+                "output"
+            )
+        info = np.iinfo(target)
+        lo, hi = data.min(), data.max()
+        if lo < info.min or hi > info.max:
+            raise NrrdError(
+                f"values [{lo}, {hi}] do not fit in {target.name}; "
+                "rescale before writing"
+            )
+        if data.dtype.kind == "f" and not np.all(data == np.trunc(data)):
+            raise NrrdError(
+                f"non-integral values would be truncated by a cast to "
+                f"{target.name}; round explicitly before writing"
+            )
+    elif target.kind == "f" and data.dtype.kind == "f":
+        with warnings.catch_warnings():
+            # the overflow this cast may warn about is exactly what the
+            # check below turns into a hard NrrdError
+            warnings.simplefilter("ignore", RuntimeWarning)
+            cast = data.astype(target)
+        if not np.all(np.isfinite(cast) | ~np.isfinite(data)):
+            raise NrrdError(
+                f"values overflow {target.name}; narrow the range before "
+                "writing"
+            )
+        return cast
+    return data.astype(target)
+
+
+def write_nrrd(path: str, image, encoding: str = "raw", dtype=None,
+               content: str | None = None, endian: str = "little") -> None:
     """Write ``image`` (an :class:`Image` or a bare array) to ``path``.
 
     Bare arrays are treated as scalar images with identity orientation when
     they have 1-3 axes; higher-rank arrays must be wrapped in :class:`Image`
     so the spatial/tensor split is explicit.
+
+    ``dtype`` conversions are checked (:func:`_checked_cast`): a cast that
+    would wrap, truncate, or drop NaN raises :class:`NrrdError` rather than
+    silently corrupting samples.  ``endian`` selects the byte order of
+    multi-byte ``raw``/``gzip`` payloads.
     """
+    if endian not in ("little", "big"):
+        raise NrrdError(f"endian must be 'little' or 'big', got {endian!r}")
     if not isinstance(image, Image):
         arr = np.asarray(image)
         if arr.ndim not in (1, 2, 3):
@@ -53,7 +108,7 @@ def write_nrrd(path: str, image, encoding: str = "raw", dtype=None, content: str
         image = Image(arr, dim=arr.ndim, tensor_shape=())
     data = image.data
     if dtype is not None:
-        data = data.astype(dtype)
+        data = _checked_cast(data, dtype)
     dtype_np = np.dtype(data.dtype)
     if dtype_np.kind not in "iuf":
         raise NrrdError(f"cannot write dtype {dtype_np} as NRRD")
@@ -77,8 +132,8 @@ def write_nrrd(path: str, image, encoding: str = "raw", dtype=None, content: str
     lines.append(f"dimension: {len(nrrd_sizes)}")
     lines.append("sizes: " + " ".join(str(s) for s in nrrd_sizes))
     if dtype_np.itemsize > 1 and encoding in ("raw", "gzip"):
-        lines.append("endian: little")
-        flat = flat.astype(dtype_np.newbyteorder("<"))
+        lines.append(f"endian: {endian}")
+        flat = flat.astype(dtype_np.newbyteorder("<" if endian == "little" else ">"))
     lines.append(f"encoding: {encoding}")
     lines.append(f"space dimension: {dim}")
     dirs = ["none"] * t_order + [

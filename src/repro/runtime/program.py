@@ -507,7 +507,16 @@ class Program:
                             help="write a Chrome trace-event JSON file")
         parser.add_argument("--profile", action="store_true",
                             help="print a super-step/worker profile summary")
+        parser.add_argument("--check", action="store_true",
+                            help="validate the compiled (lowered) IR before "
+                                 "running")
         args = parser.parse_args(argv)
+        if args.check:
+            from repro.core.verify import verify_func
+            from repro.core.xform.to_high import HighBuilder
+
+            for fn in HighBuilder.all_funcs(self.high):
+                verify_func(fn, "low", images=self.high.images)
         for name in self.high.input_names:
             raw = getattr(args, name)
             if raw is not None:

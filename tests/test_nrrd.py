@@ -258,3 +258,95 @@ class TestErrors:
             fp.write(b"NRRD0001\ntype: float\n")
         with pytest.raises(NrrdError, match="EOF"):
             read_nrrd_header(path)
+
+
+class TestWriterEndian:
+    """``endian=`` writes either byte order; reading restores native data."""
+
+    @pytest.mark.parametrize("encoding", ["raw", "gzip"])
+    @pytest.mark.parametrize("endian", ["little", "big"])
+    def test_roundtrip(self, tmp_path, rng, encoding, endian):
+        img = Image(rng.standard_normal((4, 5)))
+        path = str(tmp_path / "e.nrrd")
+        write_nrrd(path, img, encoding=encoding, endian=endian)
+        back = read_nrrd(path)
+        assert np.array_equal(back.data, img.data)
+
+    def test_big_endian_header_and_payload(self, tmp_path):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        path = str(tmp_path / "be.nrrd")
+        write_nrrd(path, Image(data), endian="big")
+        with open(path, "rb") as fp:
+            raw = fp.read()
+        header, _, payload = raw.partition(b"\n\n")
+        assert b"endian: big" in header
+        assert np.array_equal(
+            np.frombuffer(payload, dtype=">f8"), [1.0, 3.0, 2.0, 4.0]
+        )
+
+    def test_big_endian_int_roundtrip(self, tmp_path):
+        data = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = str(tmp_path / "bi.nrrd")
+        write_nrrd(path, Image(data, dtype=None), endian="big")
+        back = read_nrrd(path, dtype=None)  # keep the stored sample type
+        assert back.data.dtype == np.int32
+        assert np.array_equal(back.data, data)
+
+    def test_ascii_roundtrip_is_exact(self, tmp_path, rng):
+        # repr() of a float round-trips exactly; the full read/write cycle
+        # must preserve doubles bit-for-bit even in text form
+        data = rng.standard_normal((3, 3))
+        path = str(tmp_path / "a.nrrd")
+        write_nrrd(path, Image(data), encoding="ascii")
+        back = read_nrrd(path)
+        assert np.array_equal(back.data, data)
+
+    def test_bad_endian_rejected(self, tmp_path):
+        with pytest.raises(NrrdError, match="endian"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(np.zeros((2, 2))),
+                       endian="middle")
+
+
+class TestCheckedCast:
+    """``dtype=`` conversions refuse to corrupt samples silently."""
+
+    def test_lossless_narrowing_allowed(self, tmp_path):
+        data = np.array([[0.0, 1.0], [2.0, 255.0]])
+        path = str(tmp_path / "ok.nrrd")
+        write_nrrd(path, Image(data), dtype=np.uint8)
+        back = read_nrrd(path, dtype=None)  # keep the stored sample type
+        assert back.data.dtype == np.uint8
+        assert np.array_equal(back.data, data)
+
+    def test_out_of_range_int_rejected(self, tmp_path):
+        data = np.array([[0.0, 256.0]])
+        with pytest.raises(NrrdError, match="do not fit"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(data), dtype=np.uint8)
+
+    def test_negative_into_unsigned_rejected(self, tmp_path):
+        data = np.array([[-1, 3]], dtype=np.int64)
+        with pytest.raises(NrrdError, match="do not fit"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(data), dtype=np.uint16)
+
+    def test_nan_into_int_rejected(self, tmp_path):
+        data = np.array([[np.nan, 1.0]])
+        with pytest.raises(NrrdError, match="non-finite"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(data), dtype=np.int16)
+
+    def test_fractional_into_int_rejected(self, tmp_path):
+        data = np.array([[1.5, 2.0]])
+        with pytest.raises(NrrdError, match="truncated"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(data), dtype=np.int32)
+
+    def test_float_overflow_narrowing_rejected(self, tmp_path):
+        data = np.array([[1e60, 0.0]])
+        with pytest.raises(NrrdError, match="overflow"):
+            write_nrrd(str(tmp_path / "x.nrrd"), Image(data), dtype=np.float32)
+
+    def test_float_narrowing_in_range_allowed(self, tmp_path):
+        data = np.array([[1.25, -0.5]])
+        path = str(tmp_path / "f.nrrd")
+        write_nrrd(path, Image(data), dtype=np.float32)
+        back = read_nrrd(path, dtype=None)
+        assert back.data.dtype == np.float32
+        assert np.array_equal(back.data, data.astype(np.float32))

@@ -200,3 +200,50 @@ class TestDomainSpecific:
             outs.append((res.outputs["v"], res.outputs["g"]))
         assert np.array_equal(outs[0][0], outs[1][0])
         assert np.array_equal(outs[0][1], outs[1][1])
+
+
+class TestKernelAttrKeys:
+    """Kernels hash by structure, not identity (the `id(v)` latent bug)."""
+
+    def test_structurally_equal_kernels_merge(self):
+        from repro.kernels.library import KERNELS, bspline
+
+        # bspline(3) builds a fresh Kernel structurally identical to the
+        # interned bspln3; weight computations over the two must merge
+        k1, k2 = bspline(3), KERNELS["bspln3"]
+        assert k1 is not k2
+        body = Body()
+        x = Value(REAL)
+        a = body.emit("weights", [x], ("weights", 4), kernel=k1, deriv=0, axis=0)
+        b = body.emit("weights", [x], ("weights", 4), kernel=k2, deriv=0, axis=0)
+        out = body.emit("conv_contract", [a, b], REAL)
+        fn = Func("t", [x], ["x"], body, [out], ["r"])
+        assert value_number(fn) == 1
+        assert count_ops(fn, "weights") == 1
+
+    def test_different_kernels_do_not_merge(self):
+        from repro.kernels.library import KERNELS
+
+        body = Body()
+        x = Value(REAL)
+        a = body.emit("weights", [x], ("weights", 4),
+                      kernel=KERNELS["bspln3"], deriv=0, axis=0)
+        b = body.emit("weights", [x], ("weights", 4),
+                      kernel=KERNELS["ctmr"], deriv=0, axis=0)
+        out = body.emit("conv_contract", [a, b], REAL)
+        fn = Func("t", [x], ["x"], body, [out], ["r"])
+        assert value_number(fn) == 0
+        assert count_ops(fn, "weights") == 2
+
+    def test_same_kernel_different_deriv_do_not_merge(self):
+        from repro.kernels.library import KERNELS
+
+        body = Body()
+        x = Value(REAL)
+        a = body.emit("weights", [x], ("weights", 4),
+                      kernel=KERNELS["bspln3"], deriv=0, axis=0)
+        b = body.emit("weights", [x], ("weights", 4),
+                      kernel=KERNELS["bspln3"], deriv=1, axis=0)
+        out = body.emit("conv_contract", [a, b], REAL)
+        fn = Func("t", [x], ["x"], body, [out], ["r"])
+        assert value_number(fn) == 0

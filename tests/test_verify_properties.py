@@ -1,0 +1,49 @@
+"""The Figure-10 normalization identity harness (repro.core.verify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify.properties import PropertyResult, run_properties
+
+EXPECTED = {
+    "probe-sum", "grad-scale", "grad-sum", "conv-deriv", "conv-deriv-2",
+    "hessian-symmetry",
+}
+
+
+class TestIdentitiesHold:
+    def test_all_identities_fixed_seed(self):
+        results = run_properties(seed=0)
+        assert {r.name for r in results} == EXPECTED
+        failing = [str(r) for r in results if not r.ok]
+        assert not failing, "\n".join(failing)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_other_seeds(self, seed):
+        results = run_properties(seed=seed, n_positions=8, size=32)
+        failing = [str(r) for r in results if not r.ok]
+        assert not failing, "\n".join(failing)
+
+
+class TestReporting:
+    def test_result_formatting(self):
+        ok = PropertyResult("x", "a = b", 1e-12, 1e-10, 4)
+        bad = PropertyResult("y", "c = d", 0.5, 1e-10, 4)
+        assert ok.ok and str(ok).startswith("ok")
+        assert not bad.ok and "FAIL" in str(bad)
+
+    def test_exact_identities_are_exact(self):
+        # probe-sum / grad-scale / grad-sum hold to rounding, not just to
+        # tolerance: both sides traverse identical convolution code paths
+        results = {r.name: r for r in run_properties(seed=0, n_positions=8)}
+        for name in ("probe-sum", "grad-scale", "grad-sum"):
+            assert results[name].max_err < 1e-10
+
+
+def test_cli_props_exit_status(capsys):
+    from repro.core.verify.__main__ import main
+
+    assert main(["props", "--seed", "0", "--positions", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "hessian-symmetry" in out
