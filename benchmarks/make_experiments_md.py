@@ -38,6 +38,8 @@ def main() -> None:
     f08 = load("figure08")
     ab_bs = load("ablation_blocksize")
     ab_vn = load("ablation_valnum")
+    ab_pf = load("probe")
+    pf_curv = load("probe_curvature")
 
     lines = []
     w = lines.append
@@ -167,6 +169,20 @@ def main() -> None:
           f"the work-list (load imbalance); small blocks pay per-grab lock "
           f"overhead — the trade-off the paper describes around its 4096 "
           f"default. ✓")
+    if ab_pf:
+        curv = ""
+        if pf_curv:
+            curv = (f" End to end, the Figure-4 curvature renderer runs "
+                    f"{pf_curv['unfused_s']:.2f}s unfused → "
+                    f"{pf_curv['fused_s']:.2f}s fused "
+                    f"({pf_curv['speedup']:.2f}x).")
+        w(f"* **Probe fusion** (shared partial contractions, DESIGN.md "
+          f"'Probe fusion'; fused vs `--no-fuse` across dim × derivative "
+          f"order × kernel, {ab_pf['n_strands']:,} strands): 3-D Hessian "
+          f"headline (bspln3, F+∇F+∇⊗∇F) "
+          f"{ab_pf['headline_speedup']:.2f}x; geomean over multi-D "
+          f"order-2 rows {ab_pf['hessian_geomean_speedup']:.2f}x."
+          + curv + " ✓")
     w("")
     w("## §8.3 extensions (future work in the paper, implemented here)")
     w("")

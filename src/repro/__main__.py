@@ -28,7 +28,7 @@ import sys
 
 import numpy as np
 
-from repro.core.driver import compile_file
+from repro.core.driver import OptOptions, compile_file
 from repro.errors import DiderotError
 from repro.inputs import parse_value
 from repro.obs import Tracer, format_summary, write_chrome_trace
@@ -72,6 +72,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="run the IR validator after every compiler pass "
                          "(also via REPRO_CHECK=1)")
+    ap.add_argument("--no-fuse", action="store_true",
+                    help="disable probe fusion (A/B against the fused "
+                         "pipeline)")
     args = ap.parse_args(argv)
 
     try:
@@ -84,7 +87,8 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         prog = compile_file(args.program, precision=args.precision, tracer=tracer,
-                            check=True if args.check else None)
+                            check=True if args.check else None,
+                            optimize=OptOptions(probe_fusion=not args.no_fuse))
     except (DiderotError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

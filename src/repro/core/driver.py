@@ -26,6 +26,7 @@ from repro.core.ir import ops as irops
 from repro.core.syntax import parse_program
 from repro.core.ty import check_program
 from repro.core.xform.contract import contract
+from repro.core.xform.probe_fuse import probe_fuse
 from repro.core.xform.to_high import HighBuilder, HighProgram
 from repro.core.xform.to_low import to_low
 from repro.core.xform.to_mid import to_mid
@@ -36,10 +37,17 @@ from repro.obs import Tracer
 
 @dataclass
 class OptOptions:
-    """Optimization toggles (both on by default, as in the paper)."""
+    """Optimization toggles (all on by default).
+
+    ``contraction`` and ``value_numbering`` are the paper's §5.4 passes;
+    ``probe_fusion`` is the shared-partial-contraction rewrite
+    (:mod:`repro.core.xform.probe_fuse`), exposed separately so the fused
+    and unfused pipelines can be A/B-compared (``--no-fuse``).
+    """
 
     contraction: bool = True
     value_numbering: bool = True
+    probe_fusion: bool = True
 
 
 @dataclass
@@ -161,6 +169,17 @@ def compile_to_source(
         tr.instant("instr-count", cat="count", func=fn.name, ir="mid-unopt",
                    value=_count(fn))
         _optimize(fn, irops.MID, opts, tr, "mid", verify=verify)
+        if opts.probe_fusion:
+            with tr.span("probe-fuse", cat="pass", func=fn.name, ir="mid") as sp:
+                fstats = probe_fuse(fn)
+                for k, v in fstats.items():
+                    sp.set(k, v)
+            if verify is not None:
+                verify(fn, "mid", "probe-fuse")
+            if fstats["groups"] or fstats["chains"]:
+                # clean up after the rewrite (fusion can strand dead
+                # duplicates and VN may merge shared chain prefixes)
+                _optimize(fn, irops.MID, opts, tr, "mid", verify=verify)
         tr.instant("instr-count", cat="count", func=fn.name, ir="mid", value=_count(fn))
         with tr.span("lowir", cat="pass", func=fn.name):
             to_low(fn)

@@ -121,6 +121,22 @@ MID: dict[str, OpInfo] = {
     "index_inside": OpInfo(
         "bounds test on floor indices; attrs: image, support", foldable=False
     ),
+    # probe-fusion ops (repro.core.xform.probe_fuse): separable contraction
+    # of a gathered neighborhood, one sample axis at a time, so partial sums
+    # are shared across the derivative combos of co-located probes.
+    "contract_axis": OpInfo(
+        "contract the leading remaining sample axis of a neighborhood (or "
+        "partial contraction) with one weight vector; attrs: image, "
+        "support, axes (sample axes remaining before this contraction)",
+        foldable=False,
+    ),
+    "probe_parts": OpInfo(
+        "multi-result fused probe: evaluate several per-combo contractions "
+        "of one gathered neighborhood through a shared partial-contraction "
+        "tree; attrs: image, support, dim, specs (per-result tuple of "
+        "weight-argument indices, one per sample axis)",
+        foldable=False,
+    ),
 }
 
 #: LowIR: "basic operations on vectors, scalars, and memory objects" —

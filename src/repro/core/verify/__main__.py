@@ -32,9 +32,11 @@ def _cmd_fuzz(ns) -> int:
         shrink=not ns.no_shrink,
         progress=(lambda k, s: print(f"[{k + 1}/{ns.n}] seed {s}", end="\r"))
         if ns.progress else None,
+        fuse=not ns.no_fuse,
     )
     print(f"fuzz: {report.n_programs} programs, schedulers "
-          f"{'/'.join(report.schedulers)}: "
+          f"{'/'.join(report.schedulers)}"
+          f"{', probe fusion off' if ns.no_fuse else ''}: "
           f"{'all agree' if report.ok else f'{len(report.failures)} FAILURES'}")
     for f in report.failures:
         print(f"\nseed {f.seed}: {f.message}\nminimized reproducer:")
@@ -83,6 +85,8 @@ def main(argv=None) -> int:
                    help="comma list (default seq,thread,process)")
     p.add_argument("--no-shrink", action="store_true",
                    help="report failures without minimizing them")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="compile without probe fusion (A/B the optimizer)")
     p.add_argument("--progress", action="store_true")
     p.set_defaults(fn=_cmd_fuzz)
 

@@ -239,10 +239,11 @@ def interpret_program(src: str, image) -> dict[str, np.ndarray]:
     return outputs
 
 
-def _run_scheduler(prog_src: str, image, scheduler: str) -> dict[str, np.ndarray]:
-    from repro.core.driver import compile_program
+def _run_scheduler(prog_src: str, image, scheduler: str,
+                   fuse: bool = True) -> dict[str, np.ndarray]:
+    from repro.core.driver import OptOptions, compile_program
 
-    prog = compile_program(prog_src)
+    prog = compile_program(prog_src, optimize=OptOptions(probe_fusion=fuse))
     prog.bind_image("img", image)
     workers = 1 if scheduler == "seq" else 2
     res = prog.run(max_steps=100, scheduler=scheduler, workers=workers,
@@ -254,25 +255,27 @@ def differential_check(
     src: str,
     image=None,
     schedulers: tuple[str, ...] = ALL_SCHEDULERS,
+    fuse: bool = True,
 ) -> str | None:
     """Run one program every way; None if all agree, else a message.
 
     The sequential compiled run is the baseline; the other schedulers must
     agree *exactly* (same generated code over the same blocks) and the
     HighIR interpreter to numeric tolerance (it computes probes through a
-    different engine).
+    different engine).  ``fuse`` toggles probe fusion in every compiled
+    run, so the fuzzer exercises both the fused and the unfused pipeline.
     """
     if image is None:
         image = _phantom()
     ref = interpret_program(src, image)
-    base = _run_scheduler(src, image, schedulers[0])
+    base = _run_scheduler(src, image, schedulers[0], fuse)
     for name in base:
         a, c = base[name], ref[name]
         if not np.allclose(a, c, rtol=1e-9, atol=1e-10, equal_nan=True):
             return (f"compiled ({schedulers[0]}) vs interpreter disagree on "
                     f"{name!r}: {a} vs {c}")
     for sched in schedulers[1:]:
-        out = _run_scheduler(src, image, sched)
+        out = _run_scheduler(src, image, sched, fuse)
         for name in base:
             a, b = base[name], out[name]
             if not np.allclose(a, b, rtol=1e-12, atol=1e-12, equal_nan=True):
@@ -356,12 +359,14 @@ def fuzz(
     schedulers: tuple[str, ...] = ALL_SCHEDULERS,
     shrink: bool = True,
     progress=None,
+    fuse: bool = True,
 ) -> FuzzReport:
     """Generate and differentially check ``n`` programs.
 
     Seeds are ``seed .. seed+n-1`` so a run is reproducible and a failure
     names its seed.  ``progress`` (optional callable) receives
-    ``(index, seed)`` before each sample.
+    ``(index, seed)`` before each sample.  ``fuse=False`` fuzzes the
+    unfused pipeline (``--no-fuse``).
     """
     image = _phantom()
     report = FuzzReport(n_programs=n, schedulers=tuple(schedulers))
@@ -371,14 +376,14 @@ def fuzz(
             progress(k, s)
         tree = ProgramGen(s).program_tree()
         src = render_program(tree)
-        msg = differential_check(src, image, schedulers)
+        msg = differential_check(src, image, schedulers, fuse)
         if msg is None:
             continue
 
         def still_fails(cand) -> bool:
             try:
                 return differential_check(
-                    render_program(cand), image, schedulers
+                    render_program(cand), image, schedulers, fuse
                 ) is not None
             except DiderotError:
                 return False  # the reduction broke compilation; skip it

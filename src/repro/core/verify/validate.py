@@ -98,6 +98,10 @@ class _TypeChecker:
                         )
 
     def _check(self, instr: Instr) -> None:
+        if instr.op == "probe_parts":
+            # the one multi-result op; checked whole rather than via _infer
+            self._check_probe_parts(instr)
+            return
         if len(instr.results) != 1:
             self.fail(instr, f"expected exactly one result, got {len(instr.results)}")
         expected = self._infer(instr)
@@ -510,6 +514,121 @@ class _TypeChecker:
                 )
             return TensorTy(tuple(slot.shape))
         return None
+
+    def _op_contract_axis(self, instr, tys):
+        image = instr.attrs.get("image")
+        support = instr.attrs.get("support")
+        axes = instr.attrs.get("axes")
+        if not isinstance(support, int) or support < 1:
+            self.fail(instr, f"contract_axis support attribute is {support!r}")
+        if not isinstance(axes, int) or axes < 1:
+            self.fail(instr, f"contract_axis axes attribute is {axes!r}")
+        if len(tys) != 2:
+            self.fail(instr, "contract_axis takes (neighborhood, weights)")
+        src = tys[0]
+        if isinstance(src, tuple) and src[:1] == ("vox",):
+            if src[1:] != (image, support):
+                self.fail(
+                    instr,
+                    f"vox argument {src} does not match attrs "
+                    f"image={image!r} support={support}",
+                )
+            slot = self.slot(instr, image)
+            if slot is not None and axes != slot.dim:
+                self.fail(
+                    instr,
+                    f"first contraction of a {slot.dim}-D neighborhood "
+                    f"must have axes={slot.dim}, got {axes}",
+                )
+        elif isinstance(src, tuple) and src[:1] == ("part",):
+            if src[1:] != (image, support, axes):
+                self.fail(
+                    instr,
+                    f"partial argument {src} does not match attrs "
+                    f"image={image!r} support={support} axes={axes}",
+                )
+        else:
+            self.fail(instr, f"contract_axis expects a vox or part "
+                             f"argument, got {src}")
+        if tys[1] != ("weights", 2 * support):
+            self.fail(
+                instr,
+                f"weight argument type {tys[1]} does not match support "
+                f"{support}",
+            )
+        if axes > 1:
+            return ("part", image, support, axes - 1)
+        slot = self.slot(instr, image)
+        if slot is not None:
+            return TensorTy(tuple(slot.shape))
+        return None
+
+    def _check_probe_parts(self, instr: Instr) -> None:
+        tys = [a.ty for a in instr.args]
+        image = instr.attrs.get("image")
+        support = instr.attrs.get("support")
+        dim = instr.attrs.get("dim")
+        specs = instr.attrs.get("specs")
+        if not isinstance(support, int) or support < 1:
+            self.fail(instr, f"probe_parts support attribute is {support!r}")
+        if not isinstance(dim, int) or dim < 1:
+            self.fail(instr, f"probe_parts dim attribute is {dim!r}")
+        if not tys or not (isinstance(tys[0], tuple) and tys[0][:1] == ("vox",)):
+            self.fail(instr, f"probe_parts expects a vox argument, got "
+                             f"{tys[:1]}")
+        if tys[0][1:] != (image, support):
+            self.fail(
+                instr,
+                f"vox argument {tys[0]} does not match attrs "
+                f"image={image!r} support={support}",
+            )
+        nweights = len(tys) - 1
+        if nweights < 1:
+            self.fail(instr, "probe_parts has no weight arguments")
+        for t in tys[1:]:
+            if t != ("weights", 2 * support):
+                self.fail(
+                    instr,
+                    f"weight argument type {t} does not match support "
+                    f"{support}",
+                )
+        if (not isinstance(specs, tuple) or not specs
+                or not all(isinstance(s, tuple) for s in specs)):
+            self.fail(instr, f"probe_parts specs attribute is {specs!r}")
+        for s in specs:
+            if len(s) != dim:
+                self.fail(
+                    instr,
+                    f"spec {s} has {len(s)} entries for a {dim}-D probe",
+                )
+            for wi in s:
+                if not isinstance(wi, int) or not 0 <= wi < nweights:
+                    self.fail(
+                        instr,
+                        f"spec weight index {wi!r} out of range for "
+                        f"{nweights} weight arguments",
+                    )
+        if len(instr.results) != len(specs):
+            self.fail(
+                instr,
+                f"{len(instr.results)} results for {len(specs)} specs",
+            )
+        slot = self.slot(instr, image)
+        if slot is not None:
+            if slot.dim != dim:
+                self.fail(
+                    instr,
+                    f"dim attribute {dim} does not match {slot.dim}-D "
+                    f"image {image!r}",
+                )
+            want = TensorTy(tuple(slot.shape))
+            for r in instr.results:
+                if r.ty != want:
+                    self.fail(
+                        instr,
+                        f"result type {r.ty} does not match the op "
+                        f"signature (expected {want})",
+                    )
 
     def _op_deriv_assemble(self, instr, tys):
         tshape = tuple(instr.attrs.get("tshape", ()))

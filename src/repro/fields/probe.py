@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.image import Image
 from repro.kernels import Kernel
+from repro.tensors.ops import einsum_cached
 
 # Bound on sanitized floor indices; far beyond any realistic image size but
 # safely inside int64.
@@ -97,7 +98,7 @@ def _contract(vals: np.ndarray, weights: list[np.ndarray]) -> np.ndarray:
     d = len(weights)
     letters = _AXIS_LETTERS[:d]
     spec = "n" + letters + "...," + ",".join("n" + c for c in letters) + "->n..."
-    return np.einsum(spec, vals, *weights)
+    return einsum_cached(spec, vals, *weights)
 
 
 def probe_convolution(
@@ -180,7 +181,7 @@ def probe_convolution(
         out[idx] = _contract(vals, weights)
 
     # World-space pushback: contract every derivative axis with M^{-T}.
-    g = orient.gradient_transform.astype(dtype)
+    g = orient.gradient_transform_as(dtype)
     for pos in range(deriv):
         axis = 1 + len(tshape) + pos
         out = np.moveaxis(np.tensordot(out, g, axes=([axis], [1])), -1, axis)

@@ -44,6 +44,9 @@ class Orientation:
         self._m_inv = np.linalg.inv(self._m)
         # Covariant (gradient) transform: M^{-T}.
         self._m_inv_t = self._m_inv.T
+        # per-dtype casts of M^{-T}, built on demand (grad_xform runs once
+        # per probe per block per super-step; the cast is pure overhead)
+        self._m_inv_t_cast: dict = {}
 
     @staticmethod
     def axis_aligned(dim: int, spacing=1.0, origin=None) -> "Orientation":
@@ -67,6 +70,16 @@ class Orientation:
     def gradient_transform(self) -> np.ndarray:
         """``M⁻ᵀ``: maps index-space gradients to world space (paper §5.3)."""
         return self._m_inv_t
+
+    def gradient_transform_as(self, dtype) -> np.ndarray:
+        """``M⁻ᵀ`` cast to ``dtype``, memoized per dtype (read-only)."""
+        key = np.dtype(dtype).str
+        g = self._m_inv_t_cast.get(key)
+        if g is None:
+            g = self._m_inv_t.astype(dtype)
+            g.setflags(write=False)
+            self._m_inv_t_cast[key] = g
+        return g
 
     def to_world(self, index: np.ndarray) -> np.ndarray:
         """Map index-space positions (last axis = coordinates) to world space."""

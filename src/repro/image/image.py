@@ -70,6 +70,7 @@ class Image:
         self.dim = dim
         self.tensor_shape = tensor_shape
         self.orientation = orientation
+        self._bounds_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def sizes(self) -> tuple[int, ...]:
@@ -93,11 +94,19 @@ class Image:
         ``n + i`` for ``i = 1-s .. s``; ``n`` must satisfy
         ``s-1 <= n <= size-1-s`` on every axis.  Used to implement the
         ``inside(x, F)`` test.
+
+        Memoized per support (``index_inside`` runs it once per block per
+        super-step); the cached arrays are read-only.
         """
-        sizes = np.asarray(self.sizes)
-        lo = np.full(self.dim, support - 1)
-        hi = sizes - 1 - support
-        return lo, hi
+        got = self._bounds_cache.get(support)
+        if got is None:
+            sizes = np.asarray(self.sizes)
+            lo = np.full(self.dim, support - 1)
+            hi = sizes - 1 - support
+            lo.setflags(write=False)
+            hi.setflags(write=False)
+            got = self._bounds_cache[support] = (lo, hi)
+        return got
 
     def __repr__(self) -> str:
         return (

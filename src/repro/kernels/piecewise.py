@@ -36,13 +36,22 @@ class Polynomial:
     def degree(self) -> int:
         return len(self.coeffs) - 1
 
-    def __call__(self, x):
-        """Evaluate by Horner's rule; ``x`` may be an array."""
+    def __call__(self, x, out=None):
+        """Evaluate by Horner's rule; ``x`` may be an array.
+
+        Accumulates in place (``out *= x; out += c``) — into ``out`` when
+        given (any writeable array of ``x``'s shape, e.g. a column of a
+        preallocated weight table) instead of allocating one temporary per
+        coefficient.
+        """
         x = np.asarray(x)
-        acc = np.full(x.shape, self.coeffs[-1], dtype=np.result_type(x, np.float64))
+        if out is None:
+            out = np.empty(x.shape, dtype=np.result_type(x, np.float64))
+        out.fill(self.coeffs[-1])
         for c in reversed(self.coeffs[:-1]):
-            acc = acc * x + c
-        return acc
+            out *= x
+            out += c
+        return out
 
     def derivative(self) -> "Polynomial":
         """Symbolic derivative."""
@@ -109,6 +118,7 @@ class Kernel:
         self.continuity = continuity
         self.pieces = list(pieces)
         self._deriv: Kernel | None = None
+        self._wpolys: list[Polynomial] | None = None
 
     def __repr__(self) -> str:
         return f"Kernel({self.name}, support={self.support}, C{self.continuity})"
@@ -159,8 +169,12 @@ class Kernel:
 
         Returned in offset order ``[1-s, ..., s]`` (length ``2*s``).  These
         are what the MidIR→LowIR translation expands into Horner arithmetic.
+        The list is built once per kernel and cached (the shift expansion
+        is pure and the runtime evaluates it every block otherwise).
         """
-        return [self.piece_for(-i).shift(-i) for i in self.offsets()]
+        if self._wpolys is None:
+            self._wpolys = [self.piece_for(-i).shift(-i) for i in self.offsets()]
+        return self._wpolys
 
     def offsets(self) -> range:
         """Sample offsets contributing to a probe: ``1-s .. s`` inclusive."""
@@ -170,11 +184,17 @@ class Kernel:
         """Evaluate all ``2*s`` weight polynomials at fractions ``f``.
 
         ``f`` has any shape; the result appends one axis of length ``2*s``
-        in the same offset order as :meth:`offsets`.
+        in the same offset order as :meth:`offsets`.  Each polynomial is
+        evaluated directly into its column of one preallocated table (no
+        per-polynomial temporaries, no final stack copy).
         """
         f = np.asarray(f)
-        ws = [p(f) for p in self.weight_polynomials()]
-        return np.stack(ws, axis=-1)
+        polys = self.weight_polynomials()
+        out = np.empty(f.shape + (len(polys),),
+                       dtype=np.result_type(f, np.float64))
+        for i, p in enumerate(polys):
+            p(f, out=out[..., i])
+        return out
 
     # -- diagnostics used by tests and by the field API ---------------------
 

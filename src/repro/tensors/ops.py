@@ -96,10 +96,15 @@ def normalize(u: np.ndarray) -> np.ndarray:
     examples guard against the consequences downstream, not at the callsite.
     """
     u = np.asarray(u)
-    n = np.sqrt(np.sum(u * u, axis=-1, keepdims=True))
+    # pre-scale by the largest component so the sum of squares cannot
+    # underflow to denormals (or overflow) before the sqrt: normalizing
+    # [4.8e-161]*3 must still give a unit vector
+    m = np.max(np.abs(u), axis=-1, keepdims=True)
     with np.errstate(invalid="ignore", divide="ignore"):
-        out = u / n
-    return np.where(n > 0, out, 0.0)
+        s = u / m
+        n = np.sqrt(np.sum(s * s, axis=-1, keepdims=True))
+        out = s / n
+    return np.where(m > 0, out, 0.0)
 
 
 def trace(m: np.ndarray) -> np.ndarray:
@@ -148,3 +153,30 @@ def lerp(a: np.ndarray, b: np.ndarray, t: np.ndarray) -> np.ndarray:
     b = np.asarray(b)
     t = np.asarray(t)
     return a + t * (b - a)
+
+
+#: memoized ``np.einsum_path`` results keyed by ``(spec, *operand_shapes)``.
+#: Probe contractions evaluate the same few einsum specs on the same block
+#: shapes every super-step, so the path search is pure overhead after the
+#: first call.  Plain-dict writes are benign under the GIL (idempotent:
+#: two racers compute the same path).
+_EINSUM_PATHS: dict = {}
+
+
+def einsum_cached(spec: str, *operands: np.ndarray, out=None) -> np.ndarray:
+    """``np.einsum`` with the contraction path precomputed and memoized.
+
+    Operands must already be ndarrays (the key uses their ``.shape``).
+    Without an explicit path NumPy either re-runs the path optimizer per
+    call or — the default — contracts naively in one nested loop, which
+    for the (d+1)-operand probe contractions is asymptotically worse than
+    the pairwise path.
+    """
+    key = (spec,) + tuple(op.shape for op in operands)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(spec, *operands, optimize="optimal")[0]
+        _EINSUM_PATHS[key] = path
+    if out is None:
+        return np.einsum(spec, *operands, optimize=path)
+    return np.einsum(spec, *operands, out=out, optimize=path)
