@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 
-from conftest import RESULTS_DIR, SCALE, record
+from conftest import RESULTS_DIR, SCALE, append_history, record
 
 from repro.obs import Tracer
 from repro.programs import illust_vr, lic2d, ridge3d, vr_lite
@@ -211,6 +211,16 @@ def test_measured_backend_scaling(benchmark):
             payload = json.load(fp)
     payload["measured"] = measured
     record("figure12", payload)
+
+    history = {"block_size": MEASURED_BLOCK}
+    for name, entry in measured["programs"].items():
+        rows = entry["seconds"]
+        history[f"{name}_seq_s"] = rows["seq"]["1"]
+        for sched in ("thread", "process"):
+            best_w = max(rows[sched], key=int, default=None)
+            if best_w is not None:
+                history[f"{name}_{sched}{best_w}_s"] = rows[sched][best_w]
+    append_history("scaling", history)
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     with open(os.path.join(root, "BENCH_scaling.json"), "w") as fp:

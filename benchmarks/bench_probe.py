@@ -25,7 +25,7 @@ import os
 import time
 
 import numpy as np
-from conftest import SCALE, measure, record
+from conftest import SCALE, append_history, measure, record
 
 from repro.core.driver import OptOptions, compile_program
 from repro.image import Image
@@ -179,6 +179,12 @@ def test_probe_fusion_speedup(benchmark):
         "phases": phases,
     }
     record("probe", payload)
+    append_history("probe", {
+        "headline_speedup": head["speedup"],
+        "hessian_geomean_speedup": geomean,
+        "headline_fused_s": head["fused_s"],
+        "headline_unfused_s": head["unfused_s"],
+    })
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     with open(os.path.join(root, "BENCH_probe.json"), "w") as fp:
         json.dump(payload, fp, indent=2, default=float)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 
 import pytest
@@ -20,6 +21,8 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+HISTORY_PATH = os.path.join(RESULTS_DIR, "history.jsonl")
+
 
 def record(name: str, payload) -> None:
     """Persist one benchmark's results for EXPERIMENTS.md."""
@@ -27,6 +30,41 @@ def record(name: str, payload) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as fp:
         json.dump(payload, fp, indent=2, default=float)
+
+
+def git_sha() -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_history(bench: str, payload: dict) -> None:
+    """Append one git-SHA-stamped row to ``results/history.jsonl``.
+
+    The perf-regression tracker (``benchmarks/regress.py``,
+    ``python -m repro.obs diff``) compares headline numbers across
+    commits; each row carries enough environment context (cpu count,
+    scale) that rows from starved machines can be told apart.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    row = {
+        "bench": bench,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "cpu_count": len(os.sched_getaffinity(0)),
+        "scale": SCALE,
+        **payload,
+    }
+    with open(HISTORY_PATH, "a") as fp:
+        fp.write(json.dumps(row, default=float) + "\n")
 
 
 def measure(fn, repeats: int = 1) -> float:

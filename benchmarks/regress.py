@@ -1,0 +1,138 @@
+"""The CI perf gate: compare fresh benchmark results to the baseline.
+
+::
+
+    python benchmarks/regress.py [--baseline benchmarks/baseline.json]
+                                 [--results benchmarks/results] [--strict]
+
+Reads the headline numbers the benchmarks just wrote under
+``results/`` and checks them against the committed
+``benchmarks/baseline.json`` bounds:
+
+* ``probe.min_headline_speedup`` — the probe-fusion 3-D Hessian
+  headline must not decay below the floor;
+* ``metrics.max_overhead`` — the always-on metrics registry must stay
+  within its wall-clock budget (``bench_metrics.py``);
+* ``scaling.min_process_speedup_4w`` — the process scheduler's 4-worker
+  speedup on the measured programs, **gated on the recorded
+  ``cpu_count``** so starved runners skip rather than fail.
+
+Ratio/bound checks (not absolute seconds) keep the gate portable across
+machines; cross-commit wall-clock drift is tracked separately in
+``results/history.jsonl`` and compared with ``python -m repro.obs
+diff``'s noise-tolerant thresholds.  Missing results files are skipped
+with a notice (``--strict`` turns them into failures), so the gate can
+run after any benchmark subset.  Exit status: 0 clean, 1 on any
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.json")
+DEFAULT_RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "results")
+
+
+def _load(results_dir: str, name: str, strict: bool, failures: list):
+    path = os.path.join(results_dir, f"{name}.json")
+    if not os.path.exists(path):
+        msg = f"{name}: no results file ({path})"
+        if strict:
+            failures.append(msg)
+        else:
+            print(f"skip  {msg}")
+        return None
+    with open(path) as fp:
+        return json.load(fp)
+
+
+def check_probe(doc, bounds, failures) -> None:
+    floor = bounds.get("min_headline_speedup")
+    got = doc.get("headline_speedup")
+    if floor is None or got is None:
+        return
+    status = "ok  " if got >= floor else "FAIL"
+    print(f"{status}  probe: headline speedup {got:.2f}x (floor {floor}x)")
+    if got < floor:
+        failures.append(
+            f"probe: 3-D Hessian fusion speedup {got:.2f}x < floor {floor}x")
+
+
+def check_metrics(doc, bounds, failures) -> None:
+    cap = bounds.get("max_overhead")
+    got = doc.get("overhead")
+    if cap is None or got is None:
+        return
+    status = "ok  " if got <= cap else "FAIL"
+    print(f"{status}  metrics: always-on overhead {got:+.1%} (cap {cap:.0%})")
+    if got > cap:
+        failures.append(
+            f"metrics: always-on overhead {got:+.1%} > cap {cap:.0%}")
+
+
+def check_scaling(doc, bounds, failures) -> None:
+    floor = bounds.get("min_process_speedup_4w")
+    measured = doc.get("measured")
+    if floor is None or not measured:
+        return
+    cores = measured.get("cpu_count", 0)
+    if cores < 4:
+        print(f"skip  scaling: only {cores} core(s) recorded — speedup "
+              "floor needs 4")
+        return
+    for name, entry in measured.get("programs", {}).items():
+        rows = entry.get("seconds", {})
+        t_seq = rows.get("seq", {}).get("1")
+        t_p4 = rows.get("process", {}).get("4")
+        if not t_seq or not t_p4:
+            continue
+        got = t_seq / t_p4
+        status = "ok  " if got >= floor else "FAIL"
+        print(f"{status}  scaling: {name} process@4 speedup {got:.2f}x "
+              f"(floor {floor}x, {cores} cores)")
+        if got < floor:
+            failures.append(
+                f"scaling: {name} process@4 speedup {got:.2f}x < floor "
+                f"{floor}x on a {cores}-core machine")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="benchmark perf-regression gate")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--results", default=DEFAULT_RESULTS)
+    ap.add_argument("--strict", action="store_true",
+                    help="missing results files fail instead of skipping")
+    args = ap.parse_args(argv)
+
+    with open(args.baseline) as fp:
+        baseline = json.load(fp)
+
+    failures: list[str] = []
+    doc = _load(args.results, "probe", args.strict, failures)
+    if doc is not None:
+        check_probe(doc, baseline.get("probe", {}), failures)
+    doc = _load(args.results, "metrics_overhead", args.strict, failures)
+    if doc is not None:
+        check_metrics(doc, baseline.get("metrics", {}), failures)
+    doc = _load(args.results, "figure12", args.strict, failures)
+    if doc is not None:
+        check_scaling(doc, baseline.get("scaling", {}), failures)
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

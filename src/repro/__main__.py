@@ -11,6 +11,7 @@ setting of input variables" (§3.3.1) and its runtime writes program output
                                     [--out PREFIX] [--text]
                                     [--emit-python] [--stats] [--check]
                                     [--trace FILE.json] [--profile]
+                                    [--no-metrics] [--metrics-out FILE.json]
 
 Each output variable is written to ``PREFIX-<name>.nrrd`` (or ``.txt``
 with ``--text``).  ``--trace`` writes a Chrome trace-event JSON file
@@ -18,6 +19,12 @@ with ``--text``).  ``--trace`` writes a Chrome trace-event JSON file
 passes and the runtime's super-steps/blocks; ``--profile`` prints the
 same data as a summary table.  Setting ``REPRO_TRACE=FILE.json`` in the
 environment is equivalent to ``--trace FILE.json``.
+
+Metrics are on by default (the registry described in DESIGN.md "Metrics
+& profiling"): ``--metrics-out FILE`` saves the invocation's metrics
+JSON document (compile-pass timings, the op-profiler counters, scheduler
+health) for ``python -m repro.obs report`` / ``diff``; ``--no-metrics``
+selects the zero-overhead disabled path.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from repro.core.driver import OptOptions, compile_file
 from repro.errors import DiderotError
 from repro.inputs import parse_value
 from repro.obs import Tracer, format_summary, write_chrome_trace
+from repro.obs import metrics as _mx
 from repro.runtime.scheduler import SCHEDULER_NAMES, resolve_workers
 
 
@@ -75,6 +83,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-fuse", action="store_true",
                     help="disable probe fusion (A/B against the fused "
                          "pipeline)")
+    ap.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="collect runtime metrics (on by default; "
+                         "--no-metrics selects the zero-overhead path)")
+    ap.add_argument("--metrics-out", metavar="FILE", default=None,
+                    help="write the run's metrics JSON document "
+                         "(compile passes + op profiler + scheduler "
+                         "health; see python -m repro.obs report)")
     args = ap.parse_args(argv)
 
     try:
@@ -82,9 +98,21 @@ def main(argv: list[str] | None = None) -> int:
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.metrics_out and not args.metrics:
+        print("error: --metrics-out requires metrics "
+              "(drop --no-metrics)", file=sys.stderr)
+        return 1
 
     tracer = Tracer() if (args.trace or args.profile) else None
+    # one ambient registry for the whole invocation: the compile's pass
+    # timings and the run's metrics land in a single document
+    if args.metrics:
+        with _mx.collect() as session:
+            return _compile_and_run(args, workers, tracer, session)
+    return _compile_and_run(args, workers, tracer, None)
 
+
+def _compile_and_run(args, workers, tracer, session) -> int:
     try:
         prog = compile_file(args.program, precision=args.precision, tracer=tracer,
                             check=True if args.check else None,
@@ -124,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
             max_steps=args.max_steps,
             tracer=tracer,
             scheduler=args.scheduler,
+            metrics=None if session is not None else False,
         )
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -144,7 +173,23 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             status = 1
     if args.profile:
-        print(format_summary(tracer))
+        print(format_summary(tracer, metrics=session))
+    if args.metrics_out:
+        try:
+            _mx.write_metrics_json(
+                session, args.metrics_out,
+                meta={"program": args.program, "workers": workers,
+                      "scheduler": args.scheduler or
+                      ("seq" if workers == 1 else "thread"),
+                      "block_size": args.block_size,
+                      "precision": args.precision,
+                      "wall_seconds": result.wall_time},
+            )
+            print(f"wrote metrics {args.metrics_out}")
+        except OSError as exc:
+            print(f"error: cannot write metrics {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            status = 1
     if args.text:
         paths = [
             _write_text(args.out, name, arr)

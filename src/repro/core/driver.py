@@ -33,6 +33,7 @@ from repro.core.xform.to_mid import to_mid
 from repro.core.xform.value_numbering import value_number
 from repro.errors import CompileError
 from repro.obs import Tracer
+from repro.obs import metrics as _mx
 
 
 @dataclass
@@ -188,6 +189,10 @@ def compile_to_source(
         tr.instant("instr-count", cat="count", func=fn.name, ir="low", value=_count(fn))
     with tr.span("codegen", cat="pass"):
         source_out = generate_module(funcs)
+    # pass timings also land in the metrics registry (ambient collect
+    # scope and the session-wide GLOBAL), so `--metrics-out` documents
+    # carry compile cost alongside runtime cost
+    _mx.fold_pass_spans(tr)
     return source_out, hp, CompileStats.from_trace(tr.events)
 
 

@@ -11,6 +11,11 @@ every scheduler vs the HighIR interpreter) and prints shrunk
 counterexamples; ``props`` runs the Figure-10 identity harness; ``check``
 compiles source files with the IR validator enabled between every pass.
 Exit status is non-zero on any failure, so all three work as CI jobs.
+
+Every subcommand aggregates the metrics of all the programs it compiles
+and runs into one registry (``repro.obs.metrics.collect``);
+``--metrics-out FILE`` saves the aggregate document and ``--no-metrics``
+disables collection.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import sys
 
 from repro.errors import DiderotError
+from repro.obs import metrics as _mx
 
 
 def _cmd_fuzz(ns) -> int:
@@ -76,6 +82,12 @@ def main(argv=None) -> int:
         description="compiler verification: differential fuzzing, "
                     "normalization properties, per-pass IR validation",
     )
+    parser.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="collect metrics across every compiled/run "
+                             "program (on by default)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the aggregate metrics JSON document")
     sub = parser.add_subparsers(dest="cmd", required=True)
 
     p = sub.add_parser("fuzz", help="differential fuzzing across schedulers")
@@ -101,6 +113,14 @@ def main(argv=None) -> int:
 
     ns = parser.parse_args(argv)
     try:
+        if ns.metrics:
+            with _mx.collect() as reg:
+                status = ns.fn(ns)
+            if ns.metrics_out:
+                _mx.write_metrics_json(reg, ns.metrics_out,
+                                       meta={"command": ns.cmd})
+                print(f"wrote metrics {ns.metrics_out}")
+            return status
         return ns.fn(ns)
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -10,6 +10,13 @@ __ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAy
 The summary exporter (:func:`format_summary`, the CLI's ``--profile``)
 renders three tables: compiler passes, per-function instruction counts,
 and runtime super-steps with per-worker utilization.
+
+:func:`format_metrics` / :func:`format_report` render a
+:class:`repro.obs.metrics.MetricsRegistry` (or a saved metrics JSON
+document) as the run report: compiler-pass totals, the hot-op profiler
+table, scheduler-health distributions, per-worker load shares, and the
+per-step convergence curve.  ``python -m repro.obs report`` is the CLI
+entry point.
 """
 
 from __future__ import annotations
@@ -151,13 +158,225 @@ def _worker_table(tracer) -> list[str]:
     return lines
 
 
-def format_summary(tracer) -> str:
-    """Human-readable profile of everything the tracer collected."""
+def format_summary(tracer, metrics=None) -> str:
+    """Human-readable profile of everything the tracer collected.
+
+    When a metrics registry (or snapshot) is also given, its op-profiler
+    and scheduler-health tables (:func:`format_metrics`) are appended —
+    the CLI's ``--profile`` passes the run's registry here.
+    """
+    pass_table = _pass_table(tracer)
     sections = [
-        _pass_table(tracer),
+        pass_table,
         _instr_table(tracer),
         _superstep_table(tracer),
         _worker_table(tracer),
     ]
     body = "\n\n".join("\n".join(s) for s in sections if s)
+    if metrics is not None:
+        # the tracer's pass table (when present) is a superset of the
+        # metrics one — don't print both
+        mbody = format_metrics(metrics, passes=not pass_table)
+        if mbody:
+            body = f"{body}\n\n{mbody}" if body else mbody
     return body if body else "(no trace events collected)"
+
+
+# -- metrics-registry rendering ----------------------------------------------
+
+
+def _snap_of(metrics) -> dict:
+    """Accept a registry, a snapshot dict, or a metrics JSON document."""
+    if hasattr(metrics, "snapshot"):
+        return metrics.snapshot()
+    return metrics
+
+
+def _group_ops(counters: dict) -> dict[str, dict[str, float]]:
+    """Collect ``op.<name>.<field>`` counters into per-op dicts."""
+    ops: dict[str, dict[str, float]] = {}
+    for key, v in counters.items():
+        if not key.startswith("op."):
+            continue
+        name, _, field = key[3:].rpartition(".")
+        if name:
+            ops.setdefault(name, {})[field] = v
+    return ops
+
+
+def _hot_op_table(counters: dict) -> list[str]:
+    """The op-profiler table: runtime kernels ranked by accumulated time.
+
+    Op names are the IR vocabulary the generated code calls
+    (``rt.conv_contract`` etc.), so rows map directly to LowIR ops."""
+    ops = _group_ops(counters)
+    if not ops:
+        return []
+    total = sum(c.get("seconds", 0.0) for c in ops.values())
+    lines = ["hot ops:",
+             f"  {'op':<16}{'calls':>9}{'lanes':>12}{'time':>10}"
+             f"{'share':>7}  {'notes'}"]
+    for name in sorted(ops, key=lambda n: -ops[n].get("seconds", 0.0)):
+        c = ops[name]
+        secs = c.get("seconds", 0.0)
+        share = secs / total if total > 0 else 0.0
+        notes = ""
+        hits = c.get("memo_hits")
+        if hits is not None:
+            tries = hits + c.get("memo_misses", 0)
+            if tries:
+                notes = f"memo {hits / tries:.0%}"
+        lines.append(
+            f"  {name:<16}{int(c.get('calls', 0)):>9}"
+            f"{int(c.get('lanes', 0)):>12}{_fmt_time(secs):>10}"
+            f"{share:>6.0%}  {notes}".rstrip()
+        )
+    scratch = counters.get("mem.scratch.allocated", 0) + counters.get(
+        "mem.scratch.reused", 0)
+    if scratch:
+        reuse = counters.get("mem.scratch.reused", 0) / scratch
+        lines.append(f"  scratch-pool reuse: {reuse:.0%} "
+                     f"({int(scratch)} requests)")
+    checked = counters.get("guard.checked", 0)
+    if checked:
+        skipped = counters.get("guard.skipped", 0)
+        lines.append(f"  uniform-branch guards: {int(checked)} checked, "
+                     f"{int(skipped)} skipped ({skipped / checked:.0%})")
+    return lines
+
+
+def _pass_metrics_table(counters: dict) -> list[str]:
+    """Compiler-pass table from folded ``pass.<name>.seconds`` counters."""
+    rows = []
+    for key, secs in counters.items():
+        if key.startswith("pass.") and key.endswith(".seconds"):
+            name = key[len("pass."):-len(".seconds")]
+            calls = counters.get(f"pass.{name}.calls", 0)
+            rows.append((name, int(calls), secs))
+    if not rows:
+        return []
+    lines = ["compiler passes:", f"  {'pass':<18}{'calls':>6}{'time':>10}"]
+    for name, calls, secs in rows:
+        lines.append(f"  {name:<18}{calls:>6}{_fmt_time(secs):>10}")
+    lines.append(
+        f"  {'total':<18}{'':>6}{_fmt_time(sum(r[2] for r in rows)):>10}")
+    return lines
+
+
+def _hist_line(name: str, hd: dict) -> str:
+    from repro.obs.metrics import Histogram
+
+    h = Histogram.from_dict(hd) if isinstance(hd, dict) else hd
+    return (f"  {name:<28}{h.count:>7}"
+            f"{_fmt_time(h.mean):>10}{_fmt_time(h.percentile(50)):>10}"
+            f"{_fmt_time(h.percentile(95)):>10}{_fmt_time(h.max):>10}")
+
+
+def _sched_health_table(snap: dict) -> list[str]:
+    counters = snap.get("counters", {})
+    hists = snap.get("histograms", {})
+    if not counters.get("sched.supersteps") and not hists:
+        return []
+    lines = ["scheduler health:"]
+    steps = counters.get("sched.supersteps", 0)
+    if steps:
+        lines.append(
+            f"  super-steps: {int(steps)}   strand updates: "
+            f"{int(counters.get('strands.updated', 0))}   stabilized: "
+            f"{int(counters.get('strands.stabilized', 0))}   died: "
+            f"{int(counters.get('strands.died', 0))}"
+        )
+    timing = [(n, hd) for n, hd in hists.items()
+              if n in ("sched.step_seconds", "sched.block_seconds",
+                       "sched.queue_wait_seconds")]
+    if timing:
+        lines.append(f"  {'distribution':<28}{'n':>7}{'mean':>10}"
+                     f"{'p50':>10}{'p95':>10}{'max':>10}")
+        for name, hd in timing:
+            lines.append(_hist_line(name, hd))
+    imb = hists.get("sched.imbalance")
+    if imb:
+        from repro.obs.metrics import Histogram
+
+        h = Histogram.from_dict(imb) if isinstance(imb, dict) else imb
+        lines.append(
+            f"  load imbalance (max/mean busy): p50 {h.percentile(50):.2f}, "
+            f"p95 {h.percentile(95):.2f}, worst {h.max:.2f}"
+        )
+    return lines
+
+
+def _worker_metrics_table(counters: dict) -> list[str]:
+    busy: dict[str, float] = {}
+    blocks: dict[str, float] = {}
+    for key, v in counters.items():
+        if key.startswith("sched.worker.") and key.endswith(".busy_seconds"):
+            busy[key[len("sched.worker."):-len(".busy_seconds")]] = v
+        elif key.startswith("sched.worker.") and key.endswith(".blocks"):
+            blocks[key[len("sched.worker."):-len(".blocks")]] = v
+    if len(busy) < 2:  # a single worker's share is always 100%
+        return []
+    total = sum(busy.values())
+    lines = ["workers:", f"  {'worker':<16}{'blocks':>8}{'busy':>10}{'share':>8}"]
+    for label in sorted(busy, key=_tid_sort_key):
+        share = busy[label] / total if total > 0 else 0.0
+        lines.append(f"  {label:<16}{int(blocks.get(label, 0)):>8}"
+                     f"{_fmt_time(busy[label]):>10}{share:>7.0%}")
+    return lines
+
+
+def _convergence_table(series: dict, limit: int = 40) -> list[str]:
+    """The per-step convergence curve from the ``steps`` series."""
+    rows = series.get("steps") or []
+    if not rows:
+        return []
+    lines = ["convergence:",
+             f"  {'step':>4}{'time':>10}{'blocks':>8}{'active':>8}"
+             f"{'stable':>8}{'died':>8}"]
+    shown = rows if len(rows) <= limit else rows[: limit // 2] + rows[-limit // 2:]
+    prev_step = None
+    for r in shown:
+        if prev_step is not None and r.get("step", 0) != prev_step + 1:
+            lines.append(f"  {'...':>4}")
+        prev_step = r.get("step", 0)
+        lines.append(
+            f"  {r.get('step', 0):>4}{_fmt_time(r.get('seconds', 0.0)):>10}"
+            f"{r.get('blocks', 0):>8}{r.get('active', 0):>8}"
+            f"{r.get('stable', 0):>8}{r.get('died', 0):>8}"
+        )
+    return lines
+
+
+def format_metrics(metrics, passes: bool = True) -> str:
+    """Human-readable rendering of a metrics registry / snapshot / doc.
+
+    ``passes=False`` drops the compiler-pass table (``format_summary``
+    uses it when the tracer already rendered a richer one).
+    """
+    snap = _snap_of(metrics)
+    counters = snap.get("counters", {})
+    sections = [
+        _pass_metrics_table(counters) if passes else None,
+        _hot_op_table(counters),
+        _sched_health_table(snap),
+        _worker_metrics_table(counters),
+        _convergence_table(snap.get("series", {})),
+    ]
+    body = "\n\n".join("\n".join(s) for s in sections if s)
+    return body
+
+
+def format_report(doc: dict) -> str:
+    """The ``python -m repro.obs report`` body: meta header + tables."""
+    lines = []
+    meta = doc.get("meta", {})
+    if meta:
+        lines.append("run metadata:")
+        for key in sorted(meta):
+            lines.append(f"  {key}: {meta[key]}")
+    body = format_metrics(doc)
+    if body:
+        lines.append("")
+        lines.append(body)
+    out = "\n".join(lines).strip()
+    return out if out else "(no metrics recorded)"

@@ -40,6 +40,8 @@ from multiprocessing import shared_memory
 
 from repro.errors import RuntimeErrorD
 from repro.obs import NULL_TRACER
+from repro.obs import metrics as _mx
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 #: seconds between liveness checks while waiting on worker messages
 _POLL_INTERVAL = 5.0
@@ -126,17 +128,25 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
         update = ns["update"]
         ctx = _WorkerCtx(images, setup["dtype"])
         g = setup["globals"]
+        # a fresh local registry (the forked copy of the master's would
+        # double-count): op metrics accumulate here and each block's
+        # ``done`` ack ships the drained delta back for the master to
+        # merge at the super-step barrier
+        reg = MetricsRegistry() if setup.get("metrics") else NULL_METRICS
+        _mx.set_active(reg)
         result_q.put(("ready", wid))
     except BaseException:
         result_q.put(("fatal", wid, traceback.format_exc()))
         return
     total = status.shape[0]
     while True:
+        idle0 = time.perf_counter()
         task = task_q.get()
         if task is None:
             break
         step, bindex, start, end = task
         t0 = time.perf_counter()
+        wait = t0 - idle0
         try:
             if end - start == total:
                 # one block covers every strand: active[0:total] is the
@@ -157,8 +167,9 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
         except BaseException:
             result_q.put(("error", wid, bindex, traceback.format_exc()))
             continue
+        delta = reg.drain() if reg.enabled else None
         result_q.put(("done", wid, bindex, t0,
-                      time.perf_counter() - t0, end - start))
+                      time.perf_counter() - t0, end - start, wait, delta))
     for shm in shms:
         try:
             shm.close()
@@ -192,8 +203,13 @@ class ProcessScheduler:
     # -- lifecycle ---------------------------------------------------------
 
     def setup(self, source: str, images: dict, dtype, global_values,
-              state: list[np.ndarray], status: np.ndarray):
+              state: list[np.ndarray], status: np.ndarray,
+              metrics: bool = True):
         """Move state into shared memory and fork the pool.
+
+        ``metrics`` tells workers whether to run their local metrics
+        registry (drained into every block ack); pass False for the
+        zero-overhead path.
 
         Returns ``(state_views, status_view)`` — the shared arrays the
         master must use for the rest of the run (stabilize scatters and
@@ -222,6 +238,7 @@ class ProcessScheduler:
                 "state": [sa.spec() for sa in state_sa],
                 "status": status_sa.spec(),
                 "active": active_sa.spec(),
+                "metrics": bool(metrics),
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -286,11 +303,13 @@ class ProcessScheduler:
                     ) from None
 
     def run_step(self, active_idx: np.ndarray, block_size: int,
-                 tracer=NULL_TRACER, step: int = 0):
+                 tracer=NULL_TRACER, step: int = 0, metrics=NULL_METRICS):
         """Execute one super-step over ``active_idx``.
 
         Returns ``(n_blocks, per_block_times)``; state/status mutations
-        happen in place in the shared arrays.
+        happen in place in the shared arrays.  ``metrics`` receives the
+        worker-drained metric deltas (merged here, at the barrier) plus
+        per-block queue-wait observations.
         """
         n_active = int(active_idx.size)
         self._active[:n_active] = active_idx
@@ -307,9 +326,13 @@ class ProcessScheduler:
             msg = self._get_result()
             kind = msg[0]
             if kind == "done":
-                _, wid, bindex, t0, dt, strands = msg
+                _, wid, bindex, t0, dt, strands, wait, delta = msg
                 times[bindex] = dt
                 block_workers[bindex] = wid
+                if metrics.enabled:
+                    if delta is not None:
+                        metrics.merge(delta)
+                    metrics.observe("sched.queue_wait_seconds", wait)
                 if tracer.enabled:
                     tracer.complete("block", "block", t0, dt,
                                     tid=f"worker-{wid}", step=step,

@@ -25,6 +25,7 @@ from repro.errors import InputError, RuntimeErrorD
 from repro.image import Image
 from repro.nrrd import read_nrrd
 from repro.obs import NULL_TRACER, tracer_from_env, write_chrome_trace
+from repro.obs import metrics as _mx
 from repro.runtime.scheduler import (
     SCHEDULER_NAMES,
     SequentialScheduler,
@@ -55,6 +56,10 @@ class RunResult:
     grid: bool = True
     #: number of grid axes (comprehension iterators); 1 for collections
     grid_dims: int = 1
+    #: the run's :class:`repro.obs.metrics.MetricsRegistry` (op counters,
+    #: scheduler health, per-step series); a ``NullRegistry`` when the
+    #: run was executed with ``metrics=False``
+    metrics: object = None
 
     def save(self, prefix: str) -> list[str]:
         """Write every output to ``<prefix>-<name>.nrrd`` (paper §5.5).
@@ -120,6 +125,61 @@ def _adopt_results(out: tuple, state: list, status: np.ndarray):
 
     new_arrs = [materialize(new, s_old) for s_old, new in zip(state, new_state)]
     return new_arrs + kept, materialize(block_status, status)
+
+
+# worker id → (".busy_seconds" key, ".blocks" key), interned once so the
+# per-step hot path never builds label strings
+_WORKER_KEYS: dict = {}
+
+
+def _worker_keys(w) -> tuple[str, str]:
+    keys = _WORKER_KEYS.get(w)
+    if keys is None:
+        label = w if isinstance(w, str) else f"worker-{w}"
+        keys = (f"sched.worker.{label}.busy_seconds",
+                f"sched.worker.{label}.blocks")
+        _WORKER_KEYS[w] = keys
+    return keys
+
+
+def _record_step_metrics(reg, step, n_blocks, active, stable, died,
+                         step_dt, times, block_workers, workers):
+    """Record one super-step's scheduler-health telemetry.
+
+    Per-worker busy seconds and block counts come from the scheduler's
+    block attribution; the load-imbalance index is ``max(busy) /
+    mean(busy over the configured worker count)`` — 1.0 when every
+    worker did equal work, ``workers`` when one worker did everything.
+    """
+    deltas = {
+        "sched.supersteps": 1,
+        "strands.updated": active,
+        "strands.stabilized": stable,
+        "strands.died": died,
+    }
+    reg.observe("sched.step_seconds", step_dt)
+    busy: dict = {}
+    for w, dt in zip(block_workers, times):
+        keys = _worker_keys(w)
+        entry = busy.get(keys)
+        if entry is None:
+            busy[keys] = [dt, 1]
+        else:
+            entry[0] += dt
+            entry[1] += 1
+        reg.observe("sched.block_seconds", dt)
+    for (busy_key, blocks_key), (b, nb) in busy.items():
+        deltas[busy_key] = b
+        deltas[blocks_key] = nb
+    reg.inc_many(deltas)
+    if workers > 1:
+        total = sum(e[0] for e in busy.values())
+        if total > 0:
+            imbalance = max(e[0] for e in busy.values()) * workers / total
+            reg.observe("sched.imbalance", imbalance,
+                        bounds=_mx.IMBALANCE_BUCKETS)
+    reg.row("steps", step=step, blocks=n_blocks, active=active,
+            stable=stable, died=died, seconds=step_dt)
 
 
 class Program:
@@ -261,6 +321,7 @@ class Program:
         max_steps: int | None = None,
         tracer=None,
         scheduler: str | None = None,
+        metrics=None,
     ) -> RunResult:
         """Execute the program to completion.
 
@@ -282,7 +343,38 @@ class Program:
         ``REPRO_TRACE`` environment variable names a path, a tracer is
         created and a Chrome trace-event file is written there after the
         run.  With tracing off the hot path allocates no span objects.
+
+        ``metrics`` controls the always-on metrics registry (DESIGN.md
+        "Metrics & profiling"):
+
+        * ``None`` (default) — record into a fresh per-run registry,
+          returned as ``result.metrics``; its counters also fold into the
+          process-wide session registry (``repro.obs.metrics.GLOBAL``)
+          and any ambient ``metrics.collect()`` scope.
+        * ``False`` — disable metrics entirely (the zero-overhead
+          :class:`~repro.obs.metrics.NullRegistry` path).
+        * ``True`` — same as ``None`` (explicit opt-in).
+        * a :class:`~repro.obs.metrics.MetricsRegistry` — record into the
+          caller's registry directly (no fold).
         """
+        reg, fold = _mx.resolve(metrics)
+        prev = _mx.set_active(reg)
+        try:
+            result = self._run(workers, block_size, max_steps, tracer,
+                               scheduler, reg)
+        finally:
+            _mx.set_active(prev)
+            if reg.enabled and fold:
+                snap = reg.snapshot()
+                for target in fold:
+                    # the session-wide registry keeps cumulative counters
+                    # only; per-step series stay per-run to bound memory
+                    target.merge(snap,
+                                 include_series=target is not _mx.GLOBAL)
+        return result
+
+    def _run(self, workers, block_size, max_steps, tracer, scheduler,
+             reg) -> RunResult:
         env_trace_path = None
         if tracer is None:
             tracer, env_trace_path = tracer_from_env()
@@ -357,28 +449,36 @@ class Program:
             # the master's state arrays become views over the pool's
             # shared-memory blocks: worker writes land in place
             state, status = pool.setup(
-                self.generated_source, ctx.images, self.dtype, g, state, status
+                self.generated_source, ctx.images, self.dtype, g, state,
+                status, metrics=reg.enabled
             )
         elif scheduler == "thread":
             sched = ThreadScheduler(workers)
         else:
             sched = SequentialScheduler()
 
+        setup_dt = time.perf_counter() - t0
         if tr.enabled:
-            tr.complete("setup", "run", t0, time.perf_counter() - t0,
+            tr.complete("setup", "run", t0, setup_dt,
                         strands=total, scheduler=scheduler)
+        if reg.enabled:
+            reg.inc("run.setup_seconds", setup_dt)
+            reg.gauge("run.workers", workers)
+            reg.gauge("run.block_size", block_size)
 
         steps = 0
         active_idx = np.arange(total, dtype=np.int64)
+        obs_on = tr.enabled or reg.enabled
         try:
             while active_idx.size:
                 if max_steps is not None and steps >= max_steps:
                     break
-                step_t0 = time.perf_counter() if tr.enabled else 0.0
+                step_t0 = time.perf_counter() if obs_on else 0.0
                 active_before = int(active_idx.size)
                 if pool is not None:
                     n_blocks, _times = pool.run_step(
-                        active_idx, block_size, tracer=tr, step=steps
+                        active_idx, block_size, tracer=tr, step=steps,
+                        metrics=reg
                     )
                 else:
                     blocks = make_blocks(active_idx, block_size)
@@ -410,26 +510,51 @@ class Program:
                             for s_arr, new in zip(state, new_state):
                                 s_arr[block_idx] = new
                             status[block_idx] = block_status
+                # one status gather serves the stabilize scatter, the
+                # observability tallies, AND the active-strand filter
+                # (stabilize_fn mutates state only, never status)
+                active_status = status[active_idx]
                 if stabilize_fn is not None:
-                    stable_mask = status[active_idx] == STABILIZE
+                    stable_mask = active_status == STABILIZE
                     if np.any(stable_mask):
                         stable_idx = active_idx[stable_mask]
                         block_state = [s[stable_idx] for s in state]
                         new_state = stabilize_fn(ctx, *g, *block_state)
                         for s_arr, new in zip(state, new_state):
                             s_arr[stable_idx] = new
-                if tr.enabled:
-                    step_stable = int(np.sum(status[active_idx] == STABILIZE))
-                    step_died = int(np.sum(status[active_idx] == DIE))
-                    tr.complete(
-                        "superstep", "superstep", step_t0,
-                        time.perf_counter() - step_t0,
-                        step=steps, blocks=n_blocks, active=active_before,
-                        stable=step_stable, died=step_died,
-                    )
-                active_idx = active_idx[status[active_idx] == RUNNING]
+                running_mask = active_status == RUNNING
+                next_active = active_idx[running_mask]
+                if obs_on:
+                    step_dt = time.perf_counter() - step_t0
+                    # classify only the strands that left this step — on
+                    # quiet steps (nobody stabilized or died, the common
+                    # case mid-convergence) the tallies cost nothing
+                    departed = active_before - int(next_active.size)
+                    if departed:
+                        leavers = active_status[~running_mask]
+                        step_stable = int(np.sum(leavers == STABILIZE))
+                        step_died = departed - step_stable
+                    else:
+                        step_stable = step_died = 0
+                    if tr.enabled:
+                        tr.complete(
+                            "superstep", "superstep", step_t0, step_dt,
+                            step=steps, blocks=n_blocks,
+                            active=active_before,
+                            stable=step_stable, died=step_died,
+                        )
+                    if reg.enabled:
+                        sched_obj = pool if pool is not None else sched
+                        _record_step_metrics(
+                            reg, steps, n_blocks, active_before,
+                            step_stable, step_died, step_dt, _times,
+                            sched_obj.last_block_workers, workers,
+                        )
+                active_idx = next_active
                 if tr.enabled:
                     tr.gauge("active-strands", int(active_idx.size))
+                if reg.enabled:
+                    reg.gauge("strands.active", int(active_idx.size))
                 steps += 1
             if pool is not None:
                 # outputs must outlive the shared blocks: detach before
@@ -460,6 +585,13 @@ class Program:
             tr.complete("run", "run", t0, wall, workers=workers,
                         block_size=block_size, steps=steps, strands=total,
                         stable=n_stable, died=n_died)
+        if reg.enabled:
+            reg.inc_many({
+                "run.count": 1,
+                "run.steps": steps,
+                "run.strands": total,
+                "run.wall_seconds": wall,
+            })
         if env_trace_path is not None:
             try:
                 write_chrome_trace(tr, env_trace_path)
@@ -476,6 +608,7 @@ class Program:
             wall_time=wall,
             grid=self.high.grid,
             grid_dims=len(self.high.iter_names),
+            metrics=reg,
         )
 
     # -- synthesized CLI glue (paper §3.3.1) ---------------------------------------
@@ -486,7 +619,8 @@ class Program:
         This is the "glue code that allows command-line setting of input
         variables" the compiler synthesizes in the paper.  Values use the
         shared textual forms of :func:`repro.inputs.parse_value`;
-        ``--trace FILE`` and ``--profile`` expose the runtime's tracing.
+        ``--trace FILE`` and ``--profile`` expose the runtime's tracing,
+        ``--metrics-out FILE`` / ``--no-metrics`` the metrics registry.
         """
         import argparse
 
@@ -510,6 +644,11 @@ class Program:
         parser.add_argument("--check", action="store_true",
                             help="validate the compiled (lowered) IR before "
                                  "running")
+        parser.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="collect runtime metrics (on by default)")
+        parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                            help="write the run's metrics JSON document")
         args = parser.parse_args(argv)
         if args.check:
             from repro.core.verify import verify_func
@@ -523,9 +662,18 @@ class Program:
                 self.set_input(name, parse_value(raw))
         tracer = Tracer() if (args.trace or args.profile) else None
         result = self.run(workers=args.workers, block_size=args.block_size,
-                          tracer=tracer, scheduler=args.scheduler)
+                          tracer=tracer, scheduler=args.scheduler,
+                          metrics=None if args.metrics else False)
         if args.trace:
             write_chrome_trace(tracer, args.trace)
         if args.profile:
-            print(format_summary(tracer))
+            print(format_summary(tracer, metrics=result.metrics
+                                 if args.metrics else None))
+        if args.metrics_out and args.metrics:
+            _mx.write_metrics_json(
+                result.metrics, args.metrics_out,
+                meta={"workers": args.workers,
+                      "block_size": args.block_size,
+                      "wall_seconds": result.wall_time},
+            )
         return result

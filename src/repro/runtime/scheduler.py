@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import InputError
 from repro.obs import NULL_TRACER
+from repro.obs import metrics as _mx
 
 #: the scheduler names accepted by ``Program.run`` and the CLIs
 SCHEDULER_NAMES = ("seq", "thread", "process")
@@ -141,6 +142,7 @@ class ThreadScheduler:
     def _worker(self, wid: int) -> None:
         label = f"worker-{wid}"
         while True:
+            idle0 = time.perf_counter()
             with self._cv:
                 while not self._closed and self._next >= len(self._blocks):
                     self._cv.wait()
@@ -152,6 +154,12 @@ class ThreadScheduler:
                 run_block = self._run_block
                 tracer = self._tracer
                 step = self._step
+            reg = _mx.ACTIVE
+            if reg.enabled:
+                # queue wait: how long this worker sat idle before it
+                # could grab a block (scheduler-health telemetry)
+                reg.observe("sched.queue_wait_seconds",
+                            time.perf_counter() - idle0)
             try:
                 t0 = time.perf_counter()
                 out = run_block(blocks[i])
