@@ -190,6 +190,48 @@ def test_probe_fusion_speedup(benchmark):
         json.dump(payload, fp, indent=2, default=float)
 
 
+def test_probe_fusion_1d_no_regression(benchmark):
+    """The cost model must leave 1-D probes on the direct contraction path.
+
+    BENCH_probe measured the incremental schedule losing (0.67–0.98x) on
+    1-D combos, so ``probe_fuse`` now rejects 1-D groups outright: the
+    fused pipeline must emit byte-identical code to the unfused one there
+    — a structural guarantee that the 1-D rows can never regress again.
+    """
+    import re
+
+    from repro.core.driver import compile_to_source
+
+    def canon(src: str) -> str:
+        # SSA ids are process-global; compare modulo renumbering
+        names: dict[str, str] = {}
+        return re.sub(
+            r"\bv\d+\b",
+            lambda m: names.setdefault(m.group(0), f"x{len(names)}"),
+            src,
+        )
+
+    rows = []
+    for dim, deriv, kname in COMBOS:
+        if dim != 1:
+            continue
+        src = probe_source(dim, deriv, kname)
+        fused_src, _, _ = compile_to_source(
+            src, optimize=OptOptions(probe_fusion=True))
+        unfused_src, _, _ = compile_to_source(
+            src, optimize=OptOptions(probe_fusion=False))
+        identical = canon(fused_src) == canon(unfused_src)
+        rows.append({"dim": dim, "deriv": deriv, "kernel": kname,
+                     "identical_code": identical})
+        assert identical, (dim, deriv, kname)
+        assert "rt.probe_parts" not in fused_src
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print(f"\n\n1-D no-regression: {len(rows)} combos compile to identical "
+          "fused/unfused code (cost model rejects 1-D groups)")
+    record("probe_1d_noregression", {"rows": rows})
+
+
 def _curvature_prog(fuse: bool):
     prog = illust_vr.make_program(
         precision="single",

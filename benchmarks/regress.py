@@ -15,7 +15,10 @@ Reads the headline numbers the benchmarks just wrote under
   within its wall-clock budget (``bench_metrics.py``);
 * ``scaling.min_process_speedup_4w`` — the process scheduler's 4-worker
   speedup on the measured programs, **gated on the recorded
-  ``cpu_count``** so starved runners skip rather than fail.
+  ``cpu_count``** so starved runners skip rather than fail;
+* ``native.min_speedup`` — the C backend's single-core speedup over
+  NumPy on the 3-D Hessian probe (``bench_native.py``) must not decay
+  below the floor.
 
 Ratio/bound checks (not absolute seconds) keep the gate portable across
 machines; cross-commit wall-clock drift is tracked separately in
@@ -102,6 +105,27 @@ def check_scaling(doc, bounds, failures) -> None:
                 f"{floor}x on a {cores}-core machine")
 
 
+def check_native(doc, bounds, failures) -> None:
+    floor = bounds.get("min_speedup")
+    got = doc.get("native_speedup")
+    if floor is None or got is None:
+        return
+    status = "ok  " if got >= floor else "FAIL"
+    print(f"{status}  native: C-vs-NumPy single-core speedup {got:.2f}x "
+          f"(floor {floor}x)")
+    if got < floor:
+        failures.append(
+            f"native: C backend speedup {got:.2f}x < floor {floor}x")
+    t2 = doc.get("thread2_speedup")
+    if t2 is not None:
+        status = "ok  " if t2 > 1.0 else "FAIL"
+        print(f"{status}  native: thread@2 over seq (C backend) {t2:.2f}x")
+        if t2 <= 1.0:
+            failures.append(
+                f"native: thread scheduler at 2 workers does not beat "
+                f"sequential native execution ({t2:.2f}x)")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         description="benchmark perf-regression gate")
@@ -124,6 +148,9 @@ def main(argv=None) -> int:
     doc = _load(args.results, "figure12", args.strict, failures)
     if doc is not None:
         check_scaling(doc, baseline.get("scaling", {}), failures)
+    doc = _load(args.results, "native", args.strict, failures)
+    if doc is not None:
+        check_native(doc, baseline.get("native", {}), failures)
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

@@ -6,7 +6,8 @@ setting of input variables" (§3.3.1) and its runtime writes program output
 
     python -m repro PROGRAM.diderot [--input name=value ...]
                                     [--precision single|double]
-                                    [--scheduler seq|thread|process]
+                                    [--scheduler seq|thread|process|auto]
+                                    [--backend numpy|c]
                                     [--workers N|auto] [--block-size N]
                                     [--out PREFIX] [--text]
                                     [--emit-python] [--stats] [--check]
@@ -40,7 +41,8 @@ from repro.errors import DiderotError
 from repro.inputs import parse_value
 from repro.obs import Tracer, format_summary, write_chrome_trace
 from repro.obs import metrics as _mx
-from repro.runtime.scheduler import SCHEDULER_NAMES, resolve_workers
+from repro.runtime.native import BACKEND_NAMES
+from repro.runtime.scheduler import SCHEDULER_CHOICES, resolve_workers
 
 
 def _write_text(prefix: str, name: str, arr: np.ndarray) -> str:
@@ -58,11 +60,19 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--input", action="append", default=[], metavar="NAME=VALUE",
                     help="set an input global (repeatable)")
     ap.add_argument("--precision", choices=("single", "double"), default="double")
-    ap.add_argument("--workers", type=str, default="1", metavar="N|auto",
-                    help="worker count, or 'auto' for the CPU count")
-    ap.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
-                    help="seq, thread, or process (default: seq for 1 "
-                         "worker, thread otherwise)")
+    ap.add_argument("--workers", type=str, default=None, metavar="N|auto",
+                    help="worker count, or 'auto' for the CPU count "
+                         "(default: 1, or 'auto' with --scheduler auto)")
+    ap.add_argument("--scheduler", choices=SCHEDULER_CHOICES, default=None,
+                    help="seq, thread, process, or auto (default: seq for 1 "
+                         "worker, thread otherwise); auto picks seq on a "
+                         "single-CPU machine, for 1 worker, or when the "
+                         "program fits in one strand block, else thread for "
+                         "--backend c and process for numpy")
+    ap.add_argument("--backend", choices=BACKEND_NAMES, default="numpy",
+                    help="strand-update backend: numpy (reference) or c "
+                         "(compiled native kernel via cffi; needs a C "
+                         "compiler, falls back to numpy with a warning)")
     ap.add_argument("--block-size", type=int, default=4096)
     ap.add_argument("--max-steps", type=int, default=None)
     ap.add_argument("--out", default="out", help="output file prefix")
@@ -93,8 +103,11 @@ def main(argv: list[str] | None = None) -> int:
                          "health; see python -m repro.obs report)")
     args = ap.parse_args(argv)
 
+    raw_workers = args.workers
+    if raw_workers is None:
+        raw_workers = "auto" if args.scheduler == "auto" else "1"
     try:
-        workers = resolve_workers(args.workers)
+        workers = resolve_workers(raw_workers)
     except DiderotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -152,6 +165,7 @@ def _compile_and_run(args, workers, tracer, session) -> int:
             max_steps=args.max_steps,
             tracer=tracer,
             scheduler=args.scheduler,
+            backend=args.backend,
             metrics=None if session is not None else False,
         )
     except DiderotError as exc:

@@ -1,0 +1,171 @@
+"""Compile and cache native-backend C modules.
+
+Thin wrapper around the system C compiler and :mod:`cffi`'s ABI mode:
+
+- :func:`compiler_available` — can this machine build and load native
+  kernels at all (cffi importable + a ``cc``/``gcc``/``clang`` on PATH)?
+- :func:`build` — compile a C translation unit emitted by
+  :mod:`repro.core.codegen.cgen` into a shared object and ``dlopen`` it,
+  returning ``(lib, ffi)``.
+
+Artifacts are cached on disk keyed by a hash of the source, the compiler
+command line, and the toolchain versions, so repeat builds of the same
+program are a single ``dlopen``.  The cache directory is
+``$REPRO_CGEN_CACHE`` or ``~/.cache/repro-cgen``; each entry stores both
+``<key>.c`` (for inspection/debugging) and ``<key>.so``.  Writes go through
+a pid-suffixed temporary plus :func:`os.replace`, so concurrent builders
+(e.g. forked process-scheduler workers racing on a cold cache) are safe.
+
+``-ffp-contract=off`` is load-bearing: it forbids fused multiply-adds so
+the native kernels round exactly like the NumPy oracle.  All failures are
+wrapped in :class:`~repro.errors.CodegenError` so ``Program`` can fall back
+to the NumPy backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+
+from ...errors import CodegenError
+
+__all__ = ["CDEF", "build", "cache_dir", "compiler_available", "find_compiler"]
+
+#: The fixed entry-point ABI shared by every generated module (see cgen).
+CDEF = (
+    "int dd_update(double **RP, int64_t **IP, unsigned char **BP,"
+    " const double *SC, const int64_t *IC,"
+    " const int64_t *idx, int64_t start, int64_t end);"
+)
+
+#: Compiler flags; -ffp-contract=off keeps FMA off for NumPy bit-parity.
+CFLAGS = ["-O3", "-ffp-contract=off", "-fno-math-errno", "-fPIC", "-shared", "-w"]
+
+_COMPILERS = ("cc", "gcc", "clang")
+
+
+def find_compiler() -> str | None:
+    """Path of the first working C compiler on PATH, or None."""
+    for name in _COMPILERS:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _have_cffi() -> bool:
+    try:
+        import cffi  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def compiler_available() -> bool:
+    """True when native kernels can be built and loaded on this machine."""
+    return _have_cffi() and find_compiler() is not None
+
+
+def cache_dir() -> str:
+    """The on-disk artifact cache directory (created on demand)."""
+    d = os.environ.get("REPRO_CGEN_CACHE")
+    if not d:
+        d = os.path.join(os.path.expanduser("~"), ".cache", "repro-cgen")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def _cache_key(c_source: str, cc: str) -> str:
+    h = hashlib.sha256()
+    h.update(c_source.encode())
+    h.update("\0".join(CFLAGS).encode())
+    h.update(cc.encode())
+    h.update(platform.machine().encode())
+    # toolchain version: a new compiler may emit different code for the
+    # same source, so it must key the artifact
+    try:
+        ver = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        ).stdout.splitlines()[:1]
+        h.update("".join(ver).encode())
+    except Exception:
+        pass
+    return h.hexdigest()[:32]
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    d = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=d, suffix=f".tmp{os.getpid()}")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def build(c_source: str):
+    """Compile ``c_source`` (or reuse a cached artifact) and dlopen it.
+
+    Returns ``(lib, ffi)`` where ``lib.dd_update`` is the native entry
+    point.  The cffi call releases the GIL for its whole duration, which is
+    what lets the thread scheduler scale across cores.  Raises
+    :class:`CodegenError` when no compiler/cffi is available or the build
+    fails.
+    """
+    if not _have_cffi():
+        raise CodegenError("native backend unavailable: cffi is not importable")
+    cc = find_compiler()
+    if cc is None:
+        raise CodegenError(
+            "native backend unavailable: no C compiler (cc/gcc/clang) on PATH"
+        )
+
+    import cffi
+
+    d = cache_dir()
+    key = _cache_key(c_source, cc)
+    so_path = os.path.join(d, f"{key}.so")
+    c_path = os.path.join(d, f"{key}.c")
+
+    if not os.path.exists(so_path):
+        _atomic_write(c_path, c_source.encode())
+        fd, tmp_so = tempfile.mkstemp(dir=d, suffix=f".so.tmp{os.getpid()}")
+        os.close(fd)
+        try:
+            proc = subprocess.run(
+                [cc, *CFLAGS, "-o", tmp_so, c_path, "-lm"],
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            if proc.returncode != 0:
+                raise CodegenError(
+                    f"native backend: C compilation failed:\n{proc.stderr.strip()}"
+                )
+            os.replace(tmp_so, so_path)
+        except CodegenError:
+            raise
+        except Exception as exc:
+            raise CodegenError(f"native backend: C compilation failed: {exc}") from exc
+        finally:
+            try:
+                os.unlink(tmp_so)
+            except OSError:
+                pass
+
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef(CDEF)
+        lib = ffi.dlopen(so_path)
+    except Exception as exc:
+        raise CodegenError(f"native backend: failed to load {so_path}: {exc}") from exc
+    return lib, ffi

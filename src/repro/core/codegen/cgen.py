@@ -1,0 +1,1715 @@
+"""LowIR -> C emitter for the native backend.
+
+``generate_c_module(high)`` walks the fully-lowered ``update`` function of a
+compiled program and emits one self-contained C translation unit exposing a
+single entry point::
+
+    int dd_update(double **RP, int64_t **IP, unsigned char **BP,
+                  const double *SC, const int64_t *IC,
+                  const int64_t *idx, int64_t start, int64_t end);
+
+``RP``/``IP``/``BP`` are flat per-strand buffers (real, int64, bool state plus
+image voxel data and non-scalar globals), ``SC``/``IC`` carry scalar constants
+(scalar globals, image origins / inverse transforms / sizes), ``idx`` is the
+active-lane index list, and ``[start, end)`` the half-open lane range to
+update.  The function returns 0 on success and 1 when an integer division by
+zero occurs on a live lane (the caller re-raises ``RuntimeErrorD`` to match
+the NumPy backend contract).
+
+The emitted code reproduces the NumPy backend's semantics exactly (1e-12
+differential agreement is asserted by the verify suite), including its NaN
+conventions: ``min``/``max`` propagate NaN from either side, ``argmax``-style
+selections treat NaN as greater-than-everything with first-wins ties, and the
+eigen decompositions mirror :mod:`repro.tensors.eigen` operation for
+operation.  Builds must use ``-ffp-contract=off`` so the compiler cannot fuse
+multiply-adds the NumPy code performs as two roundings.
+
+Alongside the C source, :func:`generate_c_module` returns a picklable *plan*
+describing the buffer ABI: which state slot / image / global feeds each
+pointer-table entry and each scalar-constant slot.  The runtime binder
+(:mod:`repro.runtime.native`) fills the tables from live arrays using only
+the plan, so the same compiled artifact can be reused across runs (and
+across forked process workers) without re-walking the IR.
+
+Anything the emitter cannot translate raises :class:`~repro.errors.CodegenError`;
+``Program`` catches it and falls back to the NumPy backend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ...errors import CodegenError
+from ..ir.base import Func, IfRegion, Instr, Phi, Value
+from ..ty.types import BOOL, INT, TensorTy
+
+__all__ = ["generate_c_module"]
+
+
+# ---------------------------------------------------------------------------
+# C helper prelude
+# ---------------------------------------------------------------------------
+
+# All helpers are static so multiple artifacts can coexist in one process.
+# NaN behaviour is load-bearing throughout: see module docstring.
+_PRELUDE = r"""
+#include <stdint.h>
+#include <math.h>
+
+#define DD_PI 0x1.921fb54442d18p+1
+
+static double dd_min(double a, double b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return (a < b) ? a : b;
+}
+
+static double dd_max(double a, double b) {
+    if (isnan(a)) return a;
+    if (isnan(b)) return b;
+    return (a > b) ? a : b;
+}
+
+static double dd_clamp(double x, double lo, double hi) {
+    return dd_min(dd_max(x, lo), hi);
+}
+
+/* np.argmax tie-breaking: NaN counts as greater than everything, first
+ * occurrence wins.  "x beats current best y" is therefore: x is NaN and y is
+ * not, or x > y (false when either is NaN). */
+static int dd_gt_nanfirst(double x, double y) {
+    return (isnan(x) && !isnan(y)) || x > y;
+}
+
+/* np.argmin analog: NaN counts as less than everything, first wins. */
+static int dd_lt_nanfirst(double x, double y) {
+    return (isnan(x) && !isnan(y)) || x < y;
+}
+
+static void dd_cross3(const double *u, const double *v, double *r) {
+    r[0] = u[1] * v[2] - u[2] * v[1];
+    r[1] = u[2] * v[0] - u[0] * v[2];
+    r[2] = u[0] * v[1] - u[1] * v[0];
+}
+
+static double dd_det3(const double *m) {
+    return m[0] * (m[4] * m[8] - m[5] * m[7])
+         - m[1] * (m[3] * m[8] - m[5] * m[6])
+         + m[2] * (m[3] * m[7] - m[4] * m[6]);
+}
+
+/* Mirrors tensors.ops.normalize: scale by the max |component| (NaN
+ * propagates through the max), then divide by the scaled norm; an all-zero
+ * vector maps to the zero vector. */
+static void dd_normalize(const double *u, int n, double *r) {
+    double mx = fabs(u[0]);
+    int _i;
+    for (_i = 1; _i < n; _i++) {
+        double av = fabs(u[_i]);
+        if (isnan(av) || av > mx) mx = av;
+    }
+    {
+        double ss = 0.0;
+        for (_i = 0; _i < n; _i++) {
+            double s = u[_i] / mx;
+            ss += s * s;
+        }
+        {
+            double nn = sqrt(ss);
+            for (_i = 0; _i < n; _i++) {
+                double out = (u[_i] / mx) / nn;
+                r[_i] = (mx > 0.0) ? out : 0.0;
+            }
+        }
+    }
+}
+
+/* Symmetric 2x2 eigenvalues, descending.  m = [a b; b d] row-major. */
+static void dd_evals2(const double *m, double *lam) {
+    double a = m[0], b = m[1], d = m[3];
+    double mean = 0.5 * (a + d);
+    double rad = sqrt(dd_max(0.25 * ((a - d) * (a - d)) + b * b, 0.0));
+    lam[0] = mean + rad;
+    lam[1] = mean - rad;
+}
+
+/* Symmetric 3x3 eigenvalues, descending (trigonometric method, Smith 1961).
+ * Mirrors tensors.eigen._sym3 step for step, including the q*identity
+ * subtraction (NaN q must poison every entry, so subtract q*(i==j) rather
+ * than branching on the diagonal). */
+static void dd_evals3(const double *m, double *lam) {
+    double q = (m[0] + m[4] + m[8]) / 3.0;
+    double a01 = m[1], a02 = m[2], a12 = m[5];
+    double p2 = (m[0] - q) * (m[0] - q) + (m[4] - q) * (m[4] - q)
+              + (m[8] - q) * (m[8] - q)
+              + 2.0 * (a01 * a01 + a02 * a02 + a12 * a12);
+    double p = sqrt(dd_max(p2 / 6.0, 0.0));
+    double safe_p = (p > 0.0) ? p : 1.0;
+    double dev[9];
+    int _i, _j;
+    for (_i = 0; _i < 3; _i++)
+        for (_j = 0; _j < 3; _j++)
+            dev[_i * 3 + _j] =
+                (m[_i * 3 + _j] - q * ((_i == _j) ? 1.0 : 0.0)) / safe_p;
+    {
+        double half_det = dd_clamp(0.5 * dd_det3(dev), -1.0, 1.0);
+        double phi = acos(half_det) / 3.0;
+        double lam0 = q + 2.0 * p * cos(phi);
+        double lam2 = q + 2.0 * p * cos(phi + 2.0 * DD_PI / 3.0);
+        double lam1 = 3.0 * q - lam0 - lam2;
+        if (p == 0.0) { lam0 = q; lam1 = q; lam2 = q; }
+        lam[0] = lam0;
+        lam[1] = lam1;
+        lam[2] = lam2;
+    }
+}
+
+/* Candidate eigenvector for eigenvalue lam of symmetric 3x3 m: the largest
+ * cross product of row pairs of (m - lam I).  Returns the confidence value;
+ * writes a unit vector (or the (1,0,0) fallback) into vec.  Mirrors
+ * tensors.eigen._evec_raw including argmax NaN-first-wins selection. */
+static double dd_evec_raw(const double *m, double lam, double *vec) {
+    double a[9];
+    double c01[3], c02[3], c12[3];
+    double n01, n02, n12;
+    double best[3];
+    double len2, length, scale2, conf;
+    int good, _i, _j;
+    for (_i = 0; _i < 3; _i++)
+        for (_j = 0; _j < 3; _j++)
+            a[_i * 3 + _j] = m[_i * 3 + _j] - lam * ((_i == _j) ? 1.0 : 0.0);
+    dd_cross3(a + 0, a + 3, c01);
+    dd_cross3(a + 0, a + 6, c02);
+    dd_cross3(a + 3, a + 6, c12);
+    n01 = c01[0] * c01[0] + c01[1] * c01[1] + c01[2] * c01[2];
+    n02 = c02[0] * c02[0] + c02[1] * c02[1] + c02[2] * c02[2];
+    n12 = c12[0] * c12[0] + c12[1] * c12[1] + c12[2] * c12[2];
+    /* argmax over [n01, n02, n12], NaN-as-greatest, first wins. */
+    best[0] = c01[0]; best[1] = c01[1]; best[2] = c01[2];
+    len2 = n01;
+    if (dd_gt_nanfirst(n02, len2)) {
+        best[0] = c02[0]; best[1] = c02[1]; best[2] = c02[2];
+        len2 = n02;
+    }
+    if (dd_gt_nanfirst(n12, len2)) {
+        best[0] = c12[0]; best[1] = c12[1]; best[2] = c12[2];
+        len2 = n12;
+    }
+    length = sqrt(len2);
+    scale2 = 0.0;
+    for (_i = 0; _i < 9; _i++) scale2 += a[_i] * a[_i];
+    conf = length / dd_max(scale2, 1e-24);
+    good = length > 1e-24;
+    if (good) {
+        vec[0] = best[0] / length;
+        vec[1] = best[1] / length;
+        vec[2] = best[2] / length;
+        return conf;
+    }
+    vec[0] = 1.0; vec[1] = 0.0; vec[2] = 0.0;
+    return 0.0;
+}
+
+/* A unit vector orthogonal to v: cross v with the axis vector along v's
+ * smallest |component| (argmin, NaN-as-least, first wins). */
+static void dd_orth_unit(const double *v, double *r) {
+    double av0 = fabs(v[0]), av1 = fabs(v[1]), av2 = fabs(v[2]);
+    int ax = 0;
+    double e[3];
+    double len;
+    if (dd_lt_nanfirst(av1, av0)) ax = 1;
+    if (dd_lt_nanfirst(av2, (ax == 0) ? av0 : av1)) ax = 2;
+    e[0] = 0.0; e[1] = 0.0; e[2] = 0.0;
+    e[ax] = 1.0;
+    dd_cross3(v, e, r);
+    len = sqrt(r[0] * r[0] + r[1] * r[1] + r[2] * r[2]);
+    len = (len > 0.0) ? len : 1.0;
+    r[0] /= len; r[1] /= len; r[2] /= len;
+}
+
+/* Symmetric 2x2 eigenvectors as rows, matching tensors.eigen.evecs. */
+static void dd_evecs2(const double *m, double *rows) {
+    double a = m[0], b = m[1], d = m[3];
+    double lam[2];
+    int _i;
+    dd_evals2(m, lam);
+    for (_i = 0; _i < 2; _i++) {
+        double li = lam[_i];
+        double v1x = b, v1y = li - a;
+        double v2x = li - d, v2y = b;
+        double n1 = v1x * v1x + v1y * v1y;
+        double n2 = v2x * v2x + v2y * v2y;
+        int pick1 = n1 >= n2;
+        double vx = pick1 ? v1x : v2x;
+        double vy = pick1 ? v1y : v2y;
+        double len = sqrt(dd_max(vx * vx + vy * vy, 0.0));
+        int good = len > 1e-24;
+        rows[_i * 2 + 0] = good ? vx / len : ((_i == 0) ? 1.0 : 0.0);
+        rows[_i * 2 + 1] = good ? vy / len : ((_i == 0) ? 0.0 : 1.0);
+    }
+}
+
+/* Symmetric 3x3 eigenvectors as rows, matching tensors.eigen.evecs:
+ * raw candidates for lam0/lam2, orthogonal-fallbacks for weak confidence,
+ * Gram-Schmidt v2 against v0, middle vector by cross product. */
+static void dd_evecs3(const double *m, double *rows) {
+    double lam[3];
+    double v0[3], v2[3];
+    double c0, c2;
+    int w0, w2;
+    double ortho0[3];
+    double dotp, l2;
+    double v1[3];
+    int _i;
+    dd_evals3(m, lam);
+    c0 = dd_evec_raw(m, lam[0], v0);
+    c2 = dd_evec_raw(m, lam[2], v2);
+    w0 = c0 <= 1e-10;
+    w2 = c2 <= 1e-10;
+    if (w2 && !w0) {
+        double ortho2[3];
+        dd_orth_unit(v0, ortho2);
+        v2[0] = ortho2[0]; v2[1] = ortho2[1]; v2[2] = ortho2[2];
+    }
+    if (w0) {
+        dd_orth_unit(v2, ortho0);
+        v0[0] = ortho0[0]; v0[1] = ortho0[1]; v0[2] = ortho0[2];
+    } else {
+        /* keep ortho0 available for the degenerate-v2 fallback below; it is
+         * a pure function of v2 so compute it unconditionally. */
+        dd_orth_unit(v2, ortho0);
+    }
+    dotp = v2[0] * v0[0] + v2[1] * v0[1] + v2[2] * v0[2];
+    for (_i = 0; _i < 3; _i++) v2[_i] -= dotp * v0[_i];
+    l2 = sqrt(v2[0] * v2[0] + v2[1] * v2[1] + v2[2] * v2[2]);
+    if (l2 > 1e-24) {
+        for (_i = 0; _i < 3; _i++) v2[_i] /= l2;
+    } else {
+        /* degenerate after projection: fall back to a vector orthogonal to
+         * the *original* v2 — but v2 has been mutated, so the Python code's
+         * equivalent (recomputing from the pre-Gram-Schmidt v2) is the
+         * ortho0 captured above. */
+        v2[0] = ortho0[0]; v2[1] = ortho0[1]; v2[2] = ortho0[2];
+    }
+    dd_cross3(v2, v0, v1);
+    rows[0] = v0[0]; rows[1] = v0[1]; rows[2] = v0[2];
+    rows[3] = v1[0]; rows[4] = v1[1]; rows[5] = v1[2];
+    rows[6] = v2[0]; rows[7] = v2[1]; rows[8] = v2[2];
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Type helpers
+# ---------------------------------------------------------------------------
+
+
+def _tensor_size(ty: Any) -> int:
+    """Flat element count for a REAL/tensor type (1 for a scalar)."""
+    n = 1
+    for s in ty.shape:
+        n *= s
+    return n
+
+
+def _val_size(ty: Any) -> int:
+    """Flat element count of a value of any LowIR type tag."""
+    if ty == INT or ty == BOOL or isinstance(ty, (type(INT), type(BOOL))):
+        return 1
+    if isinstance(ty, TensorTy):
+        return _tensor_size(ty)
+    if isinstance(ty, tuple):
+        tag = ty[0]
+        if tag == "ivec":
+            return int(ty[1])
+        if tag == "weights":
+            return int(ty[1])
+        # vox / part sizes depend on image metadata; resolved by callers that
+        # carry the image table.
+    raise CodegenError(f"cgen: cannot size type {ty!r}")
+
+
+def _c_float(x: float) -> str:
+    """An exact C literal for a Python float."""
+    if math.isnan(x):
+        return "NAN"
+    if math.isinf(x):
+        return "INFINITY" if x > 0 else "-INFINITY"
+    if x == int(x) and abs(x) < 1e15:
+        return f"{x:.1f}"
+    return float(x).hex()
+
+
+def _c_int(x: int) -> str:
+    x = int(x)
+    if x == -(2**63):
+        return "(-9223372036854775807LL - 1)"
+    return f"{x}LL"
+
+
+class _Namer:
+    """Stable C identifiers for SSA values and a counter for scratch names."""
+
+    def __init__(self) -> None:
+        self._uid = 0
+
+    def val(self, v: Value) -> str:
+        return f"v{v.id}"
+
+    def fresh(self, stem: str) -> str:
+        self._uid += 1
+        return f"_{stem}{self._uid}"
+
+
+# ---------------------------------------------------------------------------
+# Emitter
+# ---------------------------------------------------------------------------
+
+
+class _Emitter:
+    def __init__(self, high: Any) -> None:
+        self.high = high
+        self.func: Func = high.update_func
+        self.images = dict(high.images)
+        self.names = _Namer()
+        self.lines: list[str] = []
+        self.indent = 1
+        # value id -> size of the C array variable (absent => scalar)
+        self.sizes: dict[int, int] = {}
+        # value id -> "array" | "scalar"; scalars referenced by bare name
+        self.kinds: dict[int, str] = {}
+        # plan tables, filled by _build_plan
+        self.plan: dict[str, Any] = {}
+        self.real_ptr_index: dict[Any, int] = {}
+        self.int_ptr_index: dict[Any, int] = {}
+        self.bool_ptr_index: dict[Any, int] = {}
+        self.sc_index: dict[Any, int] = {}
+        self.ic_index: dict[Any, int] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(("    " * self.indent) + line if line else "")
+
+    def fail(self, msg: str) -> None:
+        raise CodegenError(f"cgen: {msg}")
+
+    # -- image metadata -----------------------------------------------------
+
+    def _image_info(self, name: str) -> tuple[int, int]:
+        """(dim, tensor element count) for an image by name."""
+        slot = self.images.get(name)
+        if slot is None:
+            self.fail(f"unknown image {name!r}")
+        tsize = 1
+        for s in slot.shape:
+            tsize *= s
+        return slot.dim, tsize
+
+    def _vox_size(self, ty: Any) -> int:
+        tag = ty[0]
+        if tag == "vox":
+            _, img, s = ty
+            dim, tsize = self._image_info(img)
+            return ((2 * int(s)) ** dim) * tsize
+        if tag == "part":
+            _, img, s, axes = ty
+            _, tsize = self._image_info(img)
+            return ((2 * int(s)) ** int(axes)) * tsize
+        self.fail(f"cannot size type {ty!r}")
+        return 0  # unreachable
+
+    def size_of(self, v: Value) -> int:
+        sz = self.sizes.get(v.id)
+        if sz is None:
+            self.fail(f"value v{v.id} has no recorded size")
+        return sz
+
+    def compute_size(self, ty: Any) -> int:
+        if isinstance(ty, tuple) and ty[0] in ("vox", "part"):
+            return self._vox_size(ty)
+        return _val_size(ty)
+
+    # -- value references ---------------------------------------------------
+
+    def ref(self, v: Value, i: str | int = 0) -> str:
+        """C expression for element ``i`` of value ``v``."""
+        name = self.names.val(v)
+        if self.kinds.get(v.id) == "scalar":
+            return name
+        return f"{name}[{i}]"
+
+    def is_scalar_val(self, v: Value) -> bool:
+        return self.kinds.get(v.id) == "scalar"
+
+    # -- plan construction --------------------------------------------------
+
+    def _build_plan(self) -> None:
+        high = self.high
+        func = self.func
+        used_images = sorted(
+            {
+                ins.attrs["image"]
+                for ins in func.body.instructions()
+                if isinstance(ins, Instr) and "image" in ins.attrs
+            }
+        )
+        for name in used_images:
+            if name not in self.images:
+                self.fail(f"instruction references unknown image {name!r}")
+
+        n_globals = len(high.concrete_globals)
+        state_names = list(high.state_order) + list(high.extra_state)
+        n_state = len(state_names)
+        if len(func.params) != n_globals + n_state:
+            self.fail(
+                "update function arity mismatch: "
+                f"{len(func.params)} params vs {n_globals} globals + {n_state} state"
+            )
+        # update returns one result per *written* state slot (a prefix of
+        # the slots, in state order) plus status; immutable extras at the
+        # tail are read-only parameters with no writeback
+        n_ret = len(func.results) - 1
+        if not 0 <= n_ret <= n_state:
+            self.fail(
+                f"update result arity mismatch: {len(func.results)} results "
+                f"vs {n_state} state + status"
+            )
+
+        real_ptrs: list[tuple] = []
+        int_ptrs: list[tuple] = []
+        bool_ptrs: list[tuple] = []
+        sc: list[tuple] = []
+        ic: list[tuple] = []
+
+        for name in used_images:
+            self.real_ptr_index[("image", name)] = len(real_ptrs)
+            real_ptrs.append(("image", name))
+
+        for gi in range(n_globals):
+            ty = func.params[gi].ty
+            if isinstance(ty, TensorTy) and ty.shape != ():
+                self.real_ptr_index[("global", gi)] = len(real_ptrs)
+                real_ptrs.append(("global", gi))
+            elif isinstance(ty, TensorTy):
+                self.sc_index[("global", gi)] = len(sc)
+                sc.append(("global", gi))
+            elif ty == INT or ty == BOOL:
+                self.ic_index[("global", gi)] = len(ic)
+                ic.append(("global", gi))
+            else:
+                self.fail(f"unsupported global type {ty!r}")
+
+        for si in range(n_state):
+            ty = func.params[n_globals + si].ty
+            if isinstance(ty, TensorTy):
+                self.real_ptr_index[("state", si)] = len(real_ptrs)
+                real_ptrs.append(("state", si))
+            elif ty == INT:
+                self.int_ptr_index[("state", si)] = len(int_ptrs)
+                int_ptrs.append(("state", si))
+            elif ty == BOOL:
+                self.bool_ptr_index[("state", si)] = len(bool_ptrs)
+                bool_ptrs.append(("state", si))
+            else:
+                self.fail(f"unsupported state type {ty!r}")
+
+        # strand status lives in the int pointer table, last slot
+        self.int_ptr_index[("status",)] = len(int_ptrs)
+        int_ptrs.append(("status",))
+
+        for name in used_images:
+            slot = self.images[name]
+            d = slot.dim
+            self.sc_index[("origin", name)] = len(sc)
+            sc.extend(("origin", name) for _ in range(d))
+            self.sc_index[("minv", name)] = len(sc)
+            sc.extend(("minv", name) for _ in range(d * d))
+            self.sc_index[("gxf", name)] = len(sc)
+            sc.extend(("gxf", name) for _ in range(d * d))
+            self.ic_index[("sizes", name)] = len(ic)
+            ic.extend(("sizes", name) for _ in range(d))
+
+        self.plan = {
+            "real_ptrs": real_ptrs,
+            "int_ptrs": int_ptrs,
+            "bool_ptrs": bool_ptrs,
+            "sc": sc,
+            "ic": ic,
+            "images": used_images,
+            "n_globals": n_globals,
+            "n_state": n_state,
+            "n_ret": n_ret,
+        }
+
+    # -- declarations -------------------------------------------------------
+
+    def _declare_results(self, body) -> None:
+        """Hoist C declarations for every Instr/Phi result in the body tree."""
+        for item in body.items:
+            if isinstance(item, Instr):
+                for r in item.results:
+                    self._declare_value(r)
+            elif isinstance(item, IfRegion):
+                self._declare_results(item.then_body)
+                self._declare_results(item.else_body)
+                for phi in item.phis:
+                    self._declare_value(phi.result)
+
+    def _declare_value(self, v: Value) -> None:
+        ty = v.ty
+        name = self.names.val(v)
+        if ty == INT:
+            self.kinds[v.id] = "scalar"
+            self.sizes[v.id] = 1
+            self.emit(f"int64_t {name};")
+        elif ty == BOOL:
+            self.kinds[v.id] = "scalar"
+            self.sizes[v.id] = 1
+            self.emit(f"int {name};")
+        elif isinstance(ty, TensorTy):
+            sz = _tensor_size(ty)
+            self.sizes[v.id] = sz
+            if ty.shape == ():
+                self.kinds[v.id] = "scalar"
+                self.emit(f"double {name};")
+            else:
+                self.kinds[v.id] = "array"
+                self.emit(f"double {name}[{sz}];")
+        elif isinstance(ty, tuple) and ty[0] == "ivec":
+            self.kinds[v.id] = "array"
+            self.sizes[v.id] = int(ty[1])
+            self.emit(f"int64_t {name}[{int(ty[1])}];")
+        elif isinstance(ty, tuple) and ty[0] in ("weights", "vox", "part"):
+            sz = self.compute_size(ty)
+            self.kinds[v.id] = "array"
+            self.sizes[v.id] = sz
+            self.emit(f"double {name}[{sz}];")
+        else:
+            self.fail(f"cannot declare value of type {ty!r}")
+
+    # -- elementwise helpers ------------------------------------------------
+
+    def _bcast_ref(self, v: Value, idx_expr: str, out_size: int) -> str:
+        """Reference operand ``v`` inside an elementwise loop of ``out_size``.
+
+        Mirrors runtime _align: a smaller operand of size ka is indexed by
+        ``i / (out_size // ka)`` (trailing singleton padding)."""
+        if self.is_scalar_val(v):
+            return self.names.val(v)
+        ka = self.size_of(v)
+        if ka == out_size:
+            return f"{self.names.val(v)}[{idx_expr}]"
+        if ka == 1:
+            return f"{self.names.val(v)}[0]"
+        if out_size % ka != 0:
+            self.fail(f"broadcast mismatch: operand size {ka} vs result {out_size}")
+        step = out_size // ka
+        return f"{self.names.val(v)}[({idx_expr}) / {step}]"
+
+    def _ew_loop(self, res: Value, body_fn) -> None:
+        """Emit ``for`` loop (or scalar statement) assigning each element of res.
+
+        ``body_fn(idx_expr) -> rhs C expression``."""
+        name = self.names.val(res)
+        if self.is_scalar_val(res):
+            self.emit(f"{name} = {body_fn('0')};")
+            return
+        sz = self.size_of(res)
+        i = self.names.fresh("i")
+        self.emit(f"for (int64_t {i} = 0; {i} < {sz}; {i}++) {name}[{i}] = {body_fn(i)};")
+
+    # -- instruction dispatch -----------------------------------------------
+
+    def _emit_instr(self, ins: Instr) -> None:
+        op = ins.op
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            self.fail(f"unsupported LowIR op {op!r}")
+        handler(ins)
+
+    # .. constants ..........................................................
+
+    def _op_const(self, ins: Instr) -> None:
+        res = ins.result
+        v = ins.attrs["value"]
+        name = self.names.val(res)
+        if res.ty == BOOL:
+            self.emit(f"{name} = {1 if v else 0};")
+        elif res.ty == INT:
+            self.emit(f"{name} = {_c_int(v)};")
+        elif isinstance(res.ty, TensorTy):
+            try:
+                arr = np.asarray(v, dtype=np.float64).reshape(-1)
+            except (TypeError, ValueError) as exc:
+                self.fail(f"const has non-numeric payload {v!r}: {exc}")
+            if self.is_scalar_val(res):
+                self.emit(f"{name} = {_c_float(float(arr[0]))};")
+            else:
+                for i, x in enumerate(arr):
+                    self.emit(f"{name}[{i}] = {_c_float(float(x))};")
+        else:
+            self.fail(f"const of unsupported type {res.ty!r}")
+
+    # .. arithmetic .........................................................
+
+    def _binop_ew(self, ins: Instr, cop: str) -> None:
+        a, b = ins.args
+        res = ins.result
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"{self._bcast_ref(a, i, sz)} {cop} {self._bcast_ref(b, i, sz)}",
+        )
+
+    def _op_add(self, ins: Instr) -> None:
+        if ins.result.ty == INT:
+            a, b = ins.args
+            self.emit(f"{self.names.val(ins.result)} = {self.ref(a)} + {self.ref(b)};")
+        else:
+            self._binop_ew(ins, "+")
+
+    def _op_sub(self, ins: Instr) -> None:
+        if ins.result.ty == INT:
+            a, b = ins.args
+            self.emit(f"{self.names.val(ins.result)} = {self.ref(a)} - {self.ref(b)};")
+        else:
+            self._binop_ew(ins, "-")
+
+    def _op_neg(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        if res.ty == INT:
+            self.emit(f"{self.names.val(res)} = -{self.ref(a)};")
+            return
+        sz = self.size_of(res)
+        self._ew_loop(res, lambda i: f"-{self._bcast_ref(a, i, sz)}")
+
+    def _op_mul(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            self.emit(f"{self.names.val(res)} = {self.ref(a)} * {self.ref(b)};")
+            return
+        self._binop_ew(ins, "*")
+
+    def _op_div(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            # A division executed on a live lane with a zero divisor is the
+            # runtime "integer division by zero" fault; C truncation-toward-
+            # zero matches the NumPy backend's idiv.
+            bn = self.ref(b)
+            self.emit(f"if ({bn} == 0) return 1;")
+            self.emit(f"{self.names.val(res)} = {self.ref(a)} / {bn};")
+            return
+        self._binop_ew(ins, "/")
+
+    def _op_mod(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            bn = self.ref(b)
+            self.emit(f"if ({bn} == 0) return 1;")
+            # imod = a - idiv(a,b)*b; C % has the same truncated semantics.
+            self.emit(f"{self.names.val(res)} = {self.ref(a)} % {bn};")
+            return
+        self._ew_fmod(ins)
+
+    def _ew_fmod(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"fmod({self._bcast_ref(a, i, sz)}, {self._bcast_ref(b, i, sz)})",
+        )
+
+    _op_fmod = _ew_fmod
+
+    def _op_pow(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            self.fail("integer pow is not supported by the native backend")
+        if not (self.is_scalar_val(a) and self.is_scalar_val(b)):
+            sz = self.size_of(res)
+            self._ew_loop(
+                res,
+                lambda i: f"pow({self._bcast_ref(a, i, sz)}, {self._bcast_ref(b, i, sz)})",
+            )
+            return
+        bexpr = self.ref(b)
+        if b.ty == INT:
+            bexpr = f"(double){bexpr}"
+        self.emit(f"{self.names.val(res)} = pow({self.ref(a)}, {bexpr});")
+
+    # .. comparisons / logic ................................................
+
+    def _cmp(self, ins: Instr, cop: str) -> None:
+        a, b = ins.args
+        res = ins.result
+        if not (self.is_scalar_val(a) and self.is_scalar_val(b)):
+            self.fail(f"tensor comparison ({ins.op}) is not supported")
+        self.emit(f"{self.names.val(res)} = {self.ref(a)} {cop} {self.ref(b)};")
+
+    def _op_eq(self, ins: Instr) -> None:
+        self._cmp(ins, "==")
+
+    def _op_ne(self, ins: Instr) -> None:
+        self._cmp(ins, "!=")
+
+    def _op_lt(self, ins: Instr) -> None:
+        self._cmp(ins, "<")
+
+    def _op_le(self, ins: Instr) -> None:
+        self._cmp(ins, "<=")
+
+    def _op_gt(self, ins: Instr) -> None:
+        self._cmp(ins, ">")
+
+    def _op_ge(self, ins: Instr) -> None:
+        self._cmp(ins, ">=")
+
+    def _op_and(self, ins: Instr) -> None:
+        a, b = ins.args
+        self.emit(f"{self.names.val(ins.result)} = {self.ref(a)} && {self.ref(b)};")
+
+    def _op_or(self, ins: Instr) -> None:
+        a, b = ins.args
+        self.emit(f"{self.names.val(ins.result)} = {self.ref(a)} || {self.ref(b)};")
+
+    def _op_not(self, ins: Instr) -> None:
+        (a,) = ins.args
+        self.emit(f"{self.names.val(ins.result)} = !{self.ref(a)};")
+
+    # .. math functions ......................................................
+
+    def _mathfn(self, ins: Instr, cname: str) -> None:
+        (a,) = ins.args
+        res = ins.result
+        sz = self.size_of(res)
+        self._ew_loop(res, lambda i: f"{cname}({self._bcast_ref(a, i, sz)})")
+
+    def _op_sin(self, ins):
+        self._mathfn(ins, "sin")
+
+    def _op_cos(self, ins):
+        self._mathfn(ins, "cos")
+
+    def _op_tan(self, ins):
+        self._mathfn(ins, "tan")
+
+    def _op_asin(self, ins):
+        self._mathfn(ins, "asin")
+
+    def _op_acos(self, ins):
+        self._mathfn(ins, "acos")
+
+    def _op_atan(self, ins):
+        self._mathfn(ins, "atan")
+
+    def _op_exp(self, ins):
+        self._mathfn(ins, "exp")
+
+    def _op_log(self, ins):
+        self._mathfn(ins, "log")
+
+    def _op_sqrt(self, ins):
+        self._mathfn(ins, "sqrt")
+
+    def _op_ceil(self, ins):
+        self._mathfn(ins, "ceil")
+
+    def _op_floor(self, ins):
+        self._mathfn(ins, "floor")
+
+    def _op_atan2(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"atan2({self._bcast_ref(a, i, sz)}, {self._bcast_ref(b, i, sz)})",
+        )
+
+    def _op_abs(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        if res.ty == INT:
+            an = self.ref(a)
+            self.emit(f"{self.names.val(res)} = ({an} < 0) ? -{an} : {an};")
+            return
+        sz = self.size_of(res)
+        self._ew_loop(res, lambda i: f"fabs({self._bcast_ref(a, i, sz)})")
+
+    def _op_min(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            an, bn = self.ref(a), self.ref(b)
+            self.emit(f"{self.names.val(res)} = ({an} < {bn}) ? {an} : {bn};")
+            return
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"dd_min({self._bcast_ref(a, i, sz)}, {self._bcast_ref(b, i, sz)})",
+        )
+
+    def _op_max(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        if res.ty == INT:
+            an, bn = self.ref(a), self.ref(b)
+            self.emit(f"{self.names.val(res)} = ({an} > {bn}) ? {an} : {bn};")
+            return
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"dd_max({self._bcast_ref(a, i, sz)}, {self._bcast_ref(b, i, sz)})",
+        )
+
+    def _op_clamp(self, ins: Instr) -> None:
+        # Diderot argument order: clamp(lo, hi, x)
+        lo, hi, x = ins.args
+        res = ins.result
+        if res.ty == INT:
+            xn, ln, hn = self.ref(x), self.ref(lo), self.ref(hi)
+            lo_t = f"(({xn} > {ln}) ? {xn} : {ln})"
+            self.emit(f"{self.names.val(res)} = ({lo_t} < {hn}) ? {lo_t} : {hn};")
+            return
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: (
+                f"dd_clamp({self._bcast_ref(x, i, sz)}, "
+                f"{self._bcast_ref(lo, i, sz)}, {self._bcast_ref(hi, i, sz)})"
+            ),
+        )
+
+    def _op_lerp(self, ins: Instr) -> None:
+        a, b, t = ins.args
+        res = ins.result
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: (
+                f"{self._bcast_ref(a, i, sz)} + {self._bcast_ref(t, i, sz)} * "
+                f"({self._bcast_ref(b, i, sz)} - {self._bcast_ref(a, i, sz)})"
+            ),
+        )
+
+    def _op_select(self, ins: Instr) -> None:
+        c, t, e = ins.args
+        res = ins.result
+        cn = self.ref(c)
+        if res.ty == INT or res.ty == BOOL:
+            self.emit(
+                f"{self.names.val(res)} = {cn} ? {self.ref(t)} : {self.ref(e)};"
+            )
+            return
+        sz = self.size_of(res)
+        self._ew_loop(
+            res,
+            lambda i: f"{cn} ? {self._bcast_ref(t, i, sz)} : {self._bcast_ref(e, i, sz)}",
+        )
+
+    # .. conversions .........................................................
+
+    def _op_int_to_real(self, ins: Instr) -> None:
+        (a,) = ins.args
+        self.emit(f"{self.names.val(ins.result)} = (double){self.ref(a)};")
+
+    def _op_real_to_int(self, ins: Instr) -> None:
+        (a,) = ins.args
+        # np.trunc then int64: C's (int64_t) cast truncates toward zero.
+        self.emit(f"{self.names.val(ins.result)} = (int64_t){self.ref(a)};")
+
+    # .. tensor algebra ......................................................
+
+    def _op_dot(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        oa = a.ty.order if isinstance(a.ty, TensorTy) else 0
+        ob = b.ty.order if isinstance(b.ty, TensorTy) else 0
+        name = self.names.val(res)
+        an, bn = self.names.val(a), self.names.val(b)
+        if oa == 1 and ob == 1:
+            n = self.size_of(a)
+            k = self.names.fresh("k")
+            self.emit(f"{name} = 0.0;")
+            self.emit(f"for (int {k} = 0; {k} < {n}; {k}++) {name} += {an}[{k}] * {bn}[{k}];")
+        elif oa == 2 and ob == 1:
+            n = self.size_of(b)
+            i = self.names.fresh("i")
+            k = self.names.fresh("k")
+            self.emit(f"for (int {i} = 0; {i} < {n}; {i}++) {{")
+            self.emit(f"    {name}[{i}] = 0.0;")
+            self.emit(
+                f"    for (int {k} = 0; {k} < {n}; {k}++) "
+                f"{name}[{i}] += {an}[{i} * {n} + {k}] * {bn}[{k}];"
+            )
+            self.emit("}")
+        elif oa == 1 and ob == 2:
+            n = self.size_of(a)
+            j = self.names.fresh("j")
+            k = self.names.fresh("k")
+            self.emit(f"for (int {j} = 0; {j} < {n}; {j}++) {{")
+            self.emit(f"    {name}[{j}] = 0.0;")
+            self.emit(
+                f"    for (int {k} = 0; {k} < {n}; {k}++) "
+                f"{name}[{j}] += {an}[{k} * {n} + {j}] * {bn}[{k}];"
+            )
+            self.emit("}")
+        elif oa == 2 and ob == 2:
+            n = a.ty.shape[0]
+            i = self.names.fresh("i")
+            j = self.names.fresh("j")
+            k = self.names.fresh("k")
+            self.emit(f"for (int {i} = 0; {i} < {n}; {i}++)")
+            self.emit(f"    for (int {j} = 0; {j} < {n}; {j}++) {{")
+            self.emit(f"        {name}[{i} * {n} + {j}] = 0.0;")
+            self.emit(
+                f"        for (int {k} = 0; {k} < {n}; {k}++) "
+                f"{name}[{i} * {n} + {j}] += "
+                f"{an}[{i} * {n} + {k}] * {bn}[{k} * {n} + {j}];"
+            )
+            self.emit("    }")
+        else:
+            self.fail(f"dot of orders ({oa}, {ob}) is not supported")
+
+    def _op_cross(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        an, bn = self.names.val(a), self.names.val(b)
+        if self.size_of(a) == 2:
+            self.emit(
+                f"{self.names.val(res)} = {an}[0] * {bn}[1] - {an}[1] * {bn}[0];"
+            )
+        else:
+            self.emit(f"dd_cross3({an}, {bn}, {self.names.val(res)});")
+
+    def _op_outer(self, ins: Instr) -> None:
+        a, b = ins.args
+        res = ins.result
+        n = self.size_of(a)
+        m = self.size_of(b)
+        name = self.names.val(res)
+        an, bn = self.names.val(a), self.names.val(b)
+        i = self.names.fresh("i")
+        j = self.names.fresh("j")
+        self.emit(f"for (int {i} = 0; {i} < {n}; {i}++)")
+        self.emit(
+            f"    for (int {j} = 0; {j} < {m}; {j}++) "
+            f"{name}[{i} * {m} + {j}] = {an}[{i}] * {bn}[{j}];"
+        )
+
+    def _op_trace(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        n = a.ty.shape[0]
+        an = self.names.val(a)
+        terms = " + ".join(f"{an}[{i * n + i}]" for i in range(n))
+        self.emit(f"{self.names.val(res)} = {terms};")
+
+    def _op_transpose(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        r, c = a.ty.shape
+        name = self.names.val(res)
+        an = self.names.val(a)
+        for i in range(r):
+            for j in range(c):
+                self.emit(f"{name}[{j * r + i}] = {an}[{i * c + j}];")
+
+    def _op_det(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        n = a.ty.shape[0]
+        an = self.names.val(a)
+        name = self.names.val(res)
+        if n == 1:
+            self.emit(f"{name} = {an}[0];")
+        elif n == 2:
+            self.emit(f"{name} = {an}[0] * {an}[3] - {an}[1] * {an}[2];")
+        elif n == 3:
+            self.emit(f"{name} = dd_det3({an});")
+        else:
+            self.fail(f"det of {n}x{n} matrix is not supported")
+
+    def _op_norm(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        order = ins.attrs.get("order", a.ty.order if isinstance(a.ty, TensorTy) else 0)
+        name = self.names.val(res)
+        if order == 0:
+            self.emit(f"{name} = fabs({self.ref(a)});")
+            return
+        n = self.size_of(a)
+        an = self.names.val(a)
+        k = self.names.fresh("k")
+        acc = self.names.fresh("a")
+        self.emit(f"double {acc} = 0.0;")
+        self.emit(f"for (int {k} = 0; {k} < {n}; {k}++) {acc} += {an}[{k}] * {an}[{k}];")
+        self.emit(f"{name} = sqrt({acc});")
+
+    def _op_normalize_v(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        self.emit(
+            f"dd_normalize({self.names.val(a)}, {self.size_of(a)}, {self.names.val(res)});"
+        )
+
+    def _symmetrize(self, a: Value, n: int) -> str:
+        sym = self.names.fresh("s")
+        an = self.names.val(a)
+        self.emit(f"double {sym}[{n * n}];")
+        i = self.names.fresh("i")
+        j = self.names.fresh("j")
+        self.emit(f"for (int {i} = 0; {i} < {n}; {i}++)")
+        self.emit(
+            f"    for (int {j} = 0; {j} < {n}; {j}++) "
+            f"{sym}[{i} * {n} + {j}] = "
+            f"0.5 * ({an}[{i} * {n} + {j}] + {an}[{j} * {n} + {i}]);"
+        )
+        return sym
+
+    def _op_evals(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        n = a.ty.shape[0]
+        if n not in (2, 3):
+            self.fail(f"evals of {n}x{n} matrix is not supported")
+        sym = self._symmetrize(a, n)
+        self.emit(f"dd_evals{n}({sym}, {self.names.val(res)});")
+
+    def _op_evecs(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        n = a.ty.shape[0]
+        if n not in (2, 3):
+            self.fail(f"evecs of {n}x{n} matrix is not supported")
+        sym = self._symmetrize(a, n)
+        self.emit(f"dd_evecs{n}({sym}, {self.names.val(res)});")
+
+    # .. construction / indexing ............................................
+
+    def _op_tensor_cons(self, ins: Instr) -> None:
+        res = ins.result
+        name = self.names.val(res)
+        elem_size = self.size_of(res) // len(ins.args)
+        for e, arg in enumerate(ins.args):
+            if self.is_scalar_val(arg):
+                self.emit(f"{name}[{e}] = {self.ref(arg)};")
+            else:
+                an = self.names.val(arg)
+                i = self.names.fresh("i")
+                self.emit(
+                    f"for (int {i} = 0; {i} < {elem_size}; {i}++) "
+                    f"{name}[{e} * {elem_size} + {i}] = {an}[{i}];"
+                )
+
+    def _op_vec_cons(self, ins: Instr) -> None:
+        res = ins.result
+        name = self.names.val(res)
+        for i, arg in enumerate(ins.args):
+            self.emit(f"{name}[{i}] = {self.ref(arg)};")
+
+    def _op_tensor_index(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        indices = tuple(ins.attrs["indices"])
+        shape = a.ty.shape
+        if len(indices) > len(shape):
+            self.fail("tensor_index with more indices than axes")
+        # flat offset of the selected subtensor
+        off = 0
+        for pos, ind in enumerate(indices):
+            off = off * shape[pos] + int(ind)
+        rest = 1
+        for s in shape[len(indices):]:
+            rest *= s
+        off *= rest
+        an = self.names.val(a)
+        name = self.names.val(res)
+        if self.is_scalar_val(res):
+            self.emit(f"{name} = {an}[{off}];")
+        else:
+            i = self.names.fresh("i")
+            self.emit(
+                f"for (int {i} = 0; {i} < {rest}; {i}++) {name}[{i}] = {an}[{off} + {i}];"
+            )
+
+    def _op_identity(self, ins: Instr) -> None:
+        res = ins.result
+        n = int(ins.attrs["n"])
+        name = self.names.val(res)
+        for i in range(n):
+            for j in range(n):
+                self.emit(f"{name}[{i * n + j}] = {'1.0' if i == j else '0.0'};")
+
+    # .. probing pipeline ....................................................
+
+    def _op_to_index(self, ins: Instr) -> None:
+        (pos,) = ins.args
+        res = ins.result
+        img = ins.attrs["image"]
+        d, _ = self._image_info(img)
+        name = self.names.val(res)
+        pn = self.names.val(pos)
+        porg = f"_org_{img}"
+        pminv = f"_minv_{img}"
+        for j in range(d):
+            terms = " + ".join(
+                f"({pn}[{k}] - {porg}[{k}]) * {pminv}[{j * d + k}]" for k in range(d)
+            )
+            self.emit(f"{name}[{j}] = {terms};")
+
+    def _op_floor_i(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        d = self.size_of(res)
+        name = self.names.val(res)
+        an = self.names.val(a)
+        i = self.names.fresh("i")
+        c = self.names.fresh("c")
+        self.emit(f"for (int {i} = 0; {i} < {d}; {i}++) {{")
+        self.emit(f"    double {c} = isfinite({an}[{i}]) ? {an}[{i}] : 0.0;")
+        self.emit(f"    {c} = dd_clamp({c}, -1099511627776.0, 1099511627776.0);")
+        self.emit(f"    {name}[{i}] = (int64_t)floor({c});")
+        self.emit("}")
+
+    def _op_fract(self, ins: Instr) -> None:
+        # Fractional part of the cleaned index-space position, matching
+        # fields.probe.split_position (non-finite -> 0, clamp to +/-2^40).
+        (a,) = ins.args
+        res = ins.result
+        d = self.size_of(res)
+        name = self.names.val(res)
+        an = self.names.val(a)
+        i = self.names.fresh("i")
+        c = self.names.fresh("c")
+        self.emit(f"for (int {i} = 0; {i} < {d}; {i}++) {{")
+        self.emit(f"    double {c} = isfinite({an}[{i}]) ? {an}[{i}] : 0.0;")
+        self.emit(f"    {c} = dd_clamp({c}, -1099511627776.0, 1099511627776.0);")
+        self.emit(f"    {name}[{i}] = {c} - floor({c});")
+        self.emit("}")
+
+    def _op_gather(self, ins: Instr) -> None:
+        (n,) = ins.args
+        res = ins.result
+        img = ins.attrs["image"]
+        s = int(ins.attrs["support"])
+        d, tsize = self._image_info(img)
+        w = 2 * s
+        name = self.names.val(res)
+        nn = self.names.val(n)
+        vox = f"_vox_{img}"
+        szs = f"_sz_{img}"
+        # Per-axis clamped index tables (clip(n + off, 0, size-1), offsets
+        # 1-s .. s), then a row-major nested copy of tsize elements per tap.
+        tables = []
+        for ax in range(d):
+            t = self.names.fresh("ix")
+            tables.append(t)
+            i = self.names.fresh("i")
+            self.emit(f"int64_t {t}[{w}];")
+            self.emit(f"for (int {i} = 0; {i} < {w}; {i}++) {{")
+            self.emit(f"    int64_t _n = {nn}[{ax}] + ({i} + {1 - s});")
+            self.emit("    if (_n < 0) _n = 0;")
+            self.emit(f"    if (_n > {szs}[{ax}] - 1) _n = {szs}[{ax}] - 1;")
+            self.emit(f"    {t}[{i}] = _n;")
+            self.emit("}")
+        q = self.names.fresh("q")
+        self.emit(f"int64_t {q} = 0;")
+        ivars = [self.names.fresh("i") for _ in range(d)]
+        for ax in range(d):
+            self.emit(
+                "    " * 0
+                + f"for (int {ivars[ax]} = 0; {ivars[ax]} < {w}; {ivars[ax]}++) {{"
+            )
+        # flat voxel offset: ((ix0*sz1 + ix1)*sz2 + ix2)*tsize
+        off = self.names.fresh("o")
+        expr = f"{tables[0]}[{ivars[0]}]"
+        for ax in range(1, d):
+            expr = f"({expr} * {szs}[{ax}] + {tables[ax]}[{ivars[ax]}])"
+        self.emit(f"    int64_t {off} = {expr} * {tsize};")
+        if tsize == 1:
+            self.emit(f"    {name}[{q}++] = {vox}[{off}];")
+        else:
+            t = self.names.fresh("t")
+            self.emit(
+                f"    for (int {t} = 0; {t} < {tsize}; {t}++) "
+                f"{name}[{q}++] = {vox}[{off} + {t}];"
+            )
+        for _ in range(d):
+            self.emit("}")
+
+    def _op_index_inside(self, ins: Instr) -> None:
+        # Mirrors runtime.ops.index_inside: the argument is the *real*
+        # index-space position; non-finite coordinates are outside by
+        # definition, and the bounds test uses split_position's floor.
+        (pos,) = ins.args
+        res = ins.result
+        img = ins.attrs["image"]
+        s = int(ins.attrs["support"])
+        d, _ = self._image_info(img)
+        pn = self.names.val(pos)
+        szs = f"_sz_{img}"
+        name = self.names.val(res)
+        ok = self.names.fresh("ok")
+        ax = self.names.fresh("ax")
+        c = self.names.fresh("c")
+        nv = self.names.fresh("n")
+        self.emit(f"int {ok} = 1;")
+        self.emit(f"for (int {ax} = 0; {ax} < {d}; {ax}++) {{")
+        self.emit(f"    if (!isfinite({pn}[{ax}])) {{ {ok} = 0; break; }}")
+        self.emit(f"    double {c} = dd_clamp({pn}[{ax}], -1099511627776.0, 1099511627776.0);")
+        self.emit(f"    int64_t {nv} = (int64_t)floor({c});")
+        self.emit(f"    if ({nv} < {s - 1} || {nv} > {szs}[{ax}] - 1 - {s}) {{ {ok} = 0; break; }}")
+        self.emit("}")
+        self.emit(f"{name} = {ok};")
+
+    def _op_horner(self, ins: Instr) -> None:
+        (f,) = ins.args
+        res = ins.result
+        coeffs = list(ins.attrs["coeffs"])
+        name = self.names.val(res)
+        fn = self.ref(f)
+        if len(coeffs) == 1:
+            self.emit(f"{name} = {_c_float(float(coeffs[0]))};")
+            return
+        self.emit(f"{name} = {_c_float(float(coeffs[-1]))};")
+        for c in reversed(coeffs[:-1]):
+            self.emit(f"{name} = {name} * {fn} + {_c_float(float(c))};")
+
+    def _op_conv_contract(self, ins: Instr) -> None:
+        vox = ins.args[0]
+        weights = ins.args[1:]
+        res = ins.result
+        img = ins.attrs["image"]
+        d, tsize = self._image_info(img)
+        if len(weights) != d:
+            self.fail("conv_contract weight count does not match image dim")
+        w = self.size_of(weights[0])
+        name = self.names.val(res)
+        vn = self.names.val(vox)
+        out_sz = self.size_of(res) if not self.is_scalar_val(res) else 1
+        if self.is_scalar_val(res):
+            self.emit(f"{name} = 0.0;")
+        else:
+            z = self.names.fresh("z")
+            self.emit(f"for (int {z} = 0; {z} < {out_sz}; {z}++) {name}[{z}] = 0.0;")
+        ivars = [self.names.fresh("i") for _ in range(d)]
+        for ax in range(d):
+            self.emit(f"for (int {ivars[ax]} = 0; {ivars[ax]} < {w}; {ivars[ax]}++) {{")
+        off = self.names.fresh("o")
+        expr = ivars[0]
+        for ax in range(1, d):
+            expr = f"({expr} * {w} + {ivars[ax]})"
+        self.emit(f"    int64_t {off} = (int64_t)({expr}) * {tsize};")
+        wprod = " * ".join(
+            f"{self.names.val(weights[ax])}[{ivars[ax]}]" for ax in range(d)
+        )
+        if self.is_scalar_val(res):
+            self.emit(f"    {name} += {vn}[{off}] * {wprod};")
+        else:
+            t = self.names.fresh("t")
+            self.emit(
+                f"    for (int {t} = 0; {t} < {out_sz}; {t}++) "
+                f"{name}[{t}] += {vn}[{off} + {t}] * {wprod};"
+            )
+        for _ in range(d):
+            self.emit("}")
+
+    def _op_contract_axis(self, ins: Instr) -> None:
+        x, wv = ins.args
+        res = ins.result
+        w = self.size_of(wv)
+        in_sz = self.size_of(x)
+        out_sz = 1 if self.is_scalar_val(res) else self.size_of(res)
+        if in_sz != w * out_sz:
+            self.fail("contract_axis size mismatch")
+        name = self.names.val(res)
+        xn = self.names.val(x)
+        wn = self.names.val(wv)
+        if self.is_scalar_val(res):
+            a = self.names.fresh("a")
+            self.emit(f"{name} = 0.0;")
+            self.emit(
+                f"for (int {a} = 0; {a} < {w}; {a}++) {name} += {xn}[{a}] * {wn}[{a}];"
+            )
+            return
+        z = self.names.fresh("z")
+        self.emit(f"for (int {z} = 0; {z} < {out_sz}; {z}++) {name}[{z}] = 0.0;")
+        a = self.names.fresh("a")
+        m = self.names.fresh("m")
+        self.emit(f"for (int {a} = 0; {a} < {w}; {a}++)")
+        self.emit(
+            f"    for (int {m} = 0; {m} < {out_sz}; {m}++) "
+            f"{name}[{m}] += {xn}[{a} * {out_sz} + {m}] * {wn}[{a}];"
+        )
+
+    def _op_probe_parts(self, ins: Instr) -> None:
+        vox = ins.args[0]
+        weights = ins.args[1:]
+        specs = ins.attrs["specs"]
+        img = ins.attrs["image"]
+        d, tsize = self._image_info(img)
+        w = self.size_of(weights[0]) if weights else 0
+        vn = self.names.val(vox)
+        # Prefix-memoized axis-at-a-time contraction, matching
+        # runtime.ops.probe_parts: axes contract left to right and partial
+        # sums are shared across results on their weight-index prefix.
+        # cache: weight-index prefix -> C name of the partial sum
+        cache: dict[tuple, str] = {}
+        for ri, spec in enumerate(specs):
+            spec = tuple(spec)
+            if len(spec) != d:
+                self.fail("probe_parts spec length does not match image dim")
+            res = ins.results[ri]
+            cur_name = vn
+            prefix: tuple = ()
+            for step, wi in enumerate(spec):
+                prefix = prefix + (wi,)
+                is_last = step == d - 1
+                out_size = (w ** (d - step - 1)) * tsize
+                if is_last:
+                    out_name = self.names.val(res)
+                    out_is_scalar = self.is_scalar_val(res)
+                else:
+                    hit = cache.get(prefix)
+                    if hit is not None:
+                        cur_name = hit
+                        continue
+                    out_name = self.names.fresh("pp")
+                    self.emit(f"double {out_name}[{out_size}];")
+                    out_is_scalar = False
+                wn = self.names.val(weights[wi])
+                in_name = cur_name
+                if out_is_scalar:
+                    a = self.names.fresh("a")
+                    self.emit(f"{out_name} = 0.0;")
+                    self.emit(
+                        f"for (int {a} = 0; {a} < {w}; {a}++) "
+                        f"{out_name} += {in_name}[{a}] * {wn}[{a}];"
+                    )
+                else:
+                    z = self.names.fresh("z")
+                    self.emit(
+                        f"for (int {z} = 0; {z} < {out_size}; {z}++) {out_name}[{z}] = 0.0;"
+                    )
+                    a = self.names.fresh("a")
+                    m = self.names.fresh("m")
+                    self.emit(f"for (int {a} = 0; {a} < {w}; {a}++)")
+                    self.emit(
+                        f"    for (int {m} = 0; {m} < {out_size}; {m}++) "
+                        f"{out_name}[{m}] += {in_name}[{a} * {out_size} + {m}] * {wn}[{a}];"
+                    )
+                if not is_last:
+                    cache[prefix] = out_name
+                cur_name = out_name
+
+    def _op_deriv_assemble(self, ins: Instr) -> None:
+        parts = ins.args
+        res = ins.result
+        dim = int(ins.attrs["dim"])
+        deriv = int(ins.attrs["deriv"])
+        tshape = tuple(ins.attrs.get("tshape", ()))
+        tlen = 1
+        for s in tshape:
+            tlen *= s
+        name = self.names.val(res)
+        ncomb = dim**deriv
+        if len(parts) != ncomb:
+            self.fail("deriv_assemble part count mismatch")
+        if deriv == 0:
+            (p,) = parts
+            if self.is_scalar_val(res):
+                self.emit(f"{name} = {self.ref(p)};")
+            else:
+                i = self.names.fresh("i")
+                self.emit(
+                    f"for (int {i} = 0; {i} < {tlen}; {i}++) "
+                    f"{name}[{i}] = {self.names.val(p)}[{i}];"
+                )
+            return
+        # result layout: tshape axes first, then deriv axes (runtime stacks
+        # parts leading, reshapes to head+(dim,)*deriv+tshape, then moves the
+        # deriv axes after tshape): out[t * ncomb + c] = parts[c][t]
+        for c, p in enumerate(parts):
+            if tlen == 1:
+                self.emit(f"{name}[{c}] = {self.ref(p)};")
+            else:
+                t = self.names.fresh("t")
+                self.emit(
+                    f"for (int {t} = 0; {t} < {tlen}; {t}++) "
+                    f"{name}[{t} * {ncomb} + {c}] = {self.names.val(p)}[{t}];"
+                )
+
+    def _op_grad_xform(self, ins: Instr) -> None:
+        (a,) = ins.args
+        res = ins.result
+        img = ins.attrs["image"]
+        deriv = int(ins.attrs["deriv"])
+        d, _ = self._image_info(img)
+        gxf = f"_gxf_{img}"
+        name = self.names.val(res)
+        if deriv == 0:
+            if self.is_scalar_val(res):
+                self.emit(f"{name} = {self.ref(a)};")
+            else:
+                sz = self.size_of(res)
+                i = self.names.fresh("i")
+                self.emit(
+                    f"for (int {i} = 0; {i} < {sz}; {i}++) "
+                    f"{name}[{i}] = {self.names.val(a)}[{i}];"
+                )
+            return
+        total = self.size_of(res)
+        # shape = tshape + (d,)*deriv; transform each deriv axis in turn:
+        # dst[(o*d + j)*inner + m] = sum_k src[(o*d + k)*inner + m] * gxf[j*d+k]
+        src = self.names.val(a)
+        for pos in range(deriv):
+            # deriv axes sit after the tensor axes; axis index from the right:
+            inner = d ** (deriv - 1 - pos)
+            blocks = total // (d * inner)
+            if pos == deriv - 1:
+                dst = name
+            else:
+                dst = self.names.fresh("gx")
+                self.emit(f"double {dst}[{total}];")
+            o = self.names.fresh("o")
+            j = self.names.fresh("j")
+            m = self.names.fresh("m")
+            k = self.names.fresh("k")
+            self.emit(f"for (int {o} = 0; {o} < {blocks}; {o}++)")
+            self.emit(f"    for (int {j} = 0; {j} < {d}; {j}++)")
+            self.emit(f"        for (int {m} = 0; {m} < {inner}; {m}++) {{")
+            self.emit("            double _acc = 0.0;")
+            self.emit(
+                f"            for (int {k} = 0; {k} < {d}; {k}++) "
+                f"_acc += {src}[(({o} * {d}) + {k}) * {inner} + {m}] * {gxf}[{j} * {d} + {k}];"
+            )
+            self.emit(f"            {dst}[(({o} * {d}) + {j}) * {inner} + {m}] = _acc;")
+            self.emit("        }")
+            src = dst
+
+    # -- control flow --------------------------------------------------------
+
+    def _copy_into(self, dst: Value, src: Value) -> None:
+        name = self.names.val(dst)
+        if self.is_scalar_val(dst):
+            self.emit(f"{name} = {self.ref(src)};")
+            return
+        sz = self.size_of(dst)
+        sn = self.names.val(src)
+        i = self.names.fresh("i")
+        self.emit(f"for (int {i} = 0; {i} < {sz}; {i}++) {name}[{i}] = {sn}[{i}];")
+
+    def _emit_body(self, body) -> None:
+        for item in body.items:
+            if isinstance(item, Instr):
+                self.emit("{")
+                self.indent += 1
+                self._emit_instr(item)
+                self.indent -= 1
+                self.emit("}")
+            elif isinstance(item, IfRegion):
+                self.emit(f"if ({self.ref(item.cond)}) {{")
+                self.indent += 1
+                self._emit_body(item.then_body)
+                for phi in item.phis:
+                    self._copy_into(phi.result, phi.then_val)
+                self.indent -= 1
+                self.emit("} else {")
+                self.indent += 1
+                self._emit_body(item.else_body)
+                for phi in item.phis:
+                    self._copy_into(phi.result, phi.else_val)
+                self.indent -= 1
+                self.emit("}")
+            elif isinstance(item, Phi):
+                self.fail("loose Phi outside IfRegion")
+            else:
+                self.fail(f"unknown body item {type(item).__name__}")
+
+    # -- top-level -----------------------------------------------------------
+
+    def generate(self) -> tuple[str, dict]:
+        self._build_plan()
+        func = self.func
+        high = self.high
+        plan = self.plan
+        n_globals = plan["n_globals"]
+        n_state = plan["n_state"]
+
+        out: list[str] = [_PRELUDE]
+        out.append(
+            "int dd_update(double **RP, int64_t **IP, unsigned char **BP,\n"
+            "              const double *SC, const int64_t *IC,\n"
+            "              const int64_t *idx, int64_t start, int64_t end) {"
+        )
+        self.lines = []
+        self.indent = 1
+
+        # pointer-table aliases
+        for i in range(len(plan["real_ptrs"])):
+            self.emit(f"double *const _rp{i} = RP[{i}];")
+        for i in range(len(plan["int_ptrs"])):
+            self.emit(f"int64_t *const _ip{i} = IP[{i}];")
+        for i in range(len(plan["bool_ptrs"])):
+            self.emit(f"unsigned char *const _bp{i} = BP[{i}];")
+
+        # image metadata aliases
+        for img in plan["images"]:
+            self.emit(
+                f"const double *const _org_{img} = SC + {self.sc_index[('origin', img)]};"
+            )
+            self.emit(
+                f"const double *const _minv_{img} = SC + {self.sc_index[('minv', img)]};"
+            )
+            self.emit(
+                f"const double *const _gxf_{img} = SC + {self.sc_index[('gxf', img)]};"
+            )
+            self.emit(
+                f"const int64_t *const _sz_{img} = IC + {self.ic_index[('sizes', img)]};"
+            )
+            rp = self.real_ptr_index[("image", img)]
+            self.emit(f"const double *const _vox_{img} = _rp{rp};")
+
+        # globals
+        for gi in range(n_globals):
+            p = func.params[gi]
+            ty = p.ty
+            name = self.names.val(p)
+            if isinstance(ty, TensorTy) and ty.shape != ():
+                rp = self.real_ptr_index[("global", gi)]
+                sz = _tensor_size(ty)
+                self.kinds[p.id] = "array"
+                self.sizes[p.id] = sz
+                self.emit(f"const double *const {name} = _rp{rp};")
+            elif isinstance(ty, TensorTy):
+                self.kinds[p.id] = "scalar"
+                self.sizes[p.id] = 1
+                self.emit(f"const double {name} = SC[{self.sc_index[('global', gi)]}];")
+            elif ty == INT:
+                self.kinds[p.id] = "scalar"
+                self.sizes[p.id] = 1
+                self.emit(f"const int64_t {name} = IC[{self.ic_index[('global', gi)]}];")
+            elif ty == BOOL:
+                self.kinds[p.id] = "scalar"
+                self.sizes[p.id] = 1
+                self.emit(f"const int {name} = (int)IC[{self.ic_index[('global', gi)]}];")
+            else:
+                self.fail(f"unsupported global type {ty!r}")
+
+        # lane loop
+        self.emit("int64_t _k;")
+        self.emit("for (_k = start; _k < end; _k++) {")
+        self.indent += 1
+        self.emit("const int64_t _lane = idx[_k];")
+
+        # state parameter loads
+        for si in range(n_state):
+            p = func.params[n_globals + si]
+            ty = p.ty
+            name = self.names.val(p)
+            if isinstance(ty, TensorTy):
+                rp = self.real_ptr_index[("state", si)]
+                sz = _tensor_size(ty)
+                self.sizes[p.id] = sz
+                if ty.shape == ():
+                    self.kinds[p.id] = "scalar"
+                    self.emit(f"double {name} = _rp{rp}[_lane];")
+                else:
+                    self.kinds[p.id] = "array"
+                    self.emit(f"double {name}[{sz}];")
+                    i = self.names.fresh("i")
+                    self.emit(
+                        f"for (int {i} = 0; {i} < {sz}; {i}++) "
+                        f"{name}[{i}] = _rp{rp}[_lane * {sz} + {i}];"
+                    )
+            elif ty == INT:
+                ip = self.int_ptr_index[("state", si)]
+                self.kinds[p.id] = "scalar"
+                self.sizes[p.id] = 1
+                self.emit(f"int64_t {name} = _ip{ip}[_lane];")
+            elif ty == BOOL:
+                bp = self.bool_ptr_index[("state", si)]
+                self.kinds[p.id] = "scalar"
+                self.sizes[p.id] = 1
+                self.emit(f"int {name} = _bp{bp}[_lane] != 0;")
+            else:
+                self.fail(f"unsupported state type {ty!r}")
+
+        # hoisted declarations for all instruction results
+        self._declare_results(func.body)
+
+        # body
+        self._emit_body(func.body)
+
+        # writebacks: results[:-1] are the *written* state slots in order
+        # (a prefix of the slots — immutable extras at the tail are never
+        # returned), results[-1] is the strand status.
+        results = func.results
+        n_ret = plan["n_ret"]
+        for si in range(n_ret):
+            r = results[si]
+            p_ty = func.params[n_globals + si].ty
+            if isinstance(p_ty, TensorTy):
+                rp = self.real_ptr_index[("state", si)]
+                sz = _tensor_size(p_ty)
+                if p_ty.shape == ():
+                    self.emit(f"_rp{rp}[_lane] = {self.ref(r)};")
+                else:
+                    i = self.names.fresh("i")
+                    self.emit(
+                        f"for (int {i} = 0; {i} < {sz}; {i}++) "
+                        f"_rp{rp}[_lane * {sz} + {i}] = {self.names.val(r)}[{i}];"
+                    )
+            elif p_ty == INT:
+                ip = self.int_ptr_index[("state", si)]
+                self.emit(f"_ip{ip}[_lane] = {self.ref(r)};")
+            elif p_ty == BOOL:
+                bp = self.bool_ptr_index[("state", si)]
+                self.emit(f"_bp{bp}[_lane] = (unsigned char)({self.ref(r)} != 0);")
+        status_ip = self.int_ptr_index[("status",)]
+        self.emit(f"_ip{status_ip}[_lane] = {self.ref(results[-1])};")
+
+        self.indent -= 1
+        self.emit("}")
+        self.emit("return 0;")
+
+        out.extend(self.lines)
+        out.append("}")
+        c_source = "\n".join(out) + "\n"
+
+        # per-image metadata the binder needs (dim, tshape) — picklable
+        plan_images = {}
+        for img in plan["images"]:
+            slot = self.images[img]
+            plan_images[img] = {"dim": slot.dim, "tshape": tuple(slot.shape)}
+        plan = dict(plan)
+        plan["image_meta"] = plan_images
+        return c_source, plan
+
+
+def generate_c_module(high: Any) -> tuple[str, dict]:
+    """Emit (c_source, plan) for a compiled program's update function.
+
+    ``high`` is any object with ``update_func`` (a LowIR :class:`Func`),
+    ``images`` (name -> ImageSlot), ``concrete_globals``, ``state_order`` and
+    ``extra_state`` attributes — in practice the HighProgram held by a built
+    :class:`~repro.runtime.program.Program`.  Raises
+    :class:`~repro.errors.CodegenError` when any construct cannot be
+    translated.
+    """
+    func = getattr(high, "update_func", None)
+    if not isinstance(func, Func):
+        raise CodegenError("cgen: program has no LowIR update function")
+    return _Emitter(high).generate()

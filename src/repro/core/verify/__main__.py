@@ -39,10 +39,12 @@ def _cmd_fuzz(ns) -> int:
         progress=(lambda k, s: print(f"[{k + 1}/{ns.n}] seed {s}", end="\r"))
         if ns.progress else None,
         fuse=not ns.no_fuse,
+        backend=ns.backend,
     )
     print(f"fuzz: {report.n_programs} programs, schedulers "
           f"{'/'.join(report.schedulers)}"
-          f"{', probe fusion off' if ns.no_fuse else ''}: "
+          f"{', probe fusion off' if ns.no_fuse else ''}"
+          f"{f', backend {ns.backend}' if ns.backend != 'numpy' else ''}: "
           f"{'all agree' if report.ok else f'{len(report.failures)} FAILURES'}")
     for f in report.failures:
         print(f"\nseed {f.seed}: {f.message}\nminimized reproducer:")
@@ -99,6 +101,9 @@ def main(argv=None) -> int:
                    help="report failures without minimizing them")
     p.add_argument("--no-fuse", action="store_true",
                    help="compile without probe fusion (A/B the optimizer)")
+    p.add_argument("--backend", choices=("numpy", "c"), default="numpy",
+                   help="strand-update backend for the compiled legs "
+                        "(c additionally diffs against the NumPy oracle)")
     p.add_argument("--progress", action="store_true")
     p.set_defaults(fn=_cmd_fuzz)
 

@@ -240,14 +240,15 @@ def interpret_program(src: str, image) -> dict[str, np.ndarray]:
 
 
 def _run_scheduler(prog_src: str, image, scheduler: str,
-                   fuse: bool = True) -> dict[str, np.ndarray]:
+                   fuse: bool = True,
+                   backend: str = "numpy") -> dict[str, np.ndarray]:
     from repro.core.driver import OptOptions, compile_program
 
     prog = compile_program(prog_src, optimize=OptOptions(probe_fusion=fuse))
     prog.bind_image("img", image)
     workers = 1 if scheduler == "seq" else 2
     res = prog.run(max_steps=100, scheduler=scheduler, workers=workers,
-                   block_size=5)
+                   block_size=5, backend=backend)
     return res.outputs
 
 
@@ -256,6 +257,7 @@ def differential_check(
     image=None,
     schedulers: tuple[str, ...] = ALL_SCHEDULERS,
     fuse: bool = True,
+    backend: str = "numpy",
 ) -> str | None:
     """Run one program every way; None if all agree, else a message.
 
@@ -264,23 +266,33 @@ def differential_check(
     HighIR interpreter to numeric tolerance (it computes probes through a
     different engine).  ``fuse`` toggles probe fusion in every compiled
     run, so the fuzzer exercises both the fused and the unfused pipeline.
+    ``backend="c"`` runs the compiled legs through the native backend, with
+    the interpreter still serving as the independent oracle; additionally
+    the sequential NumPy run must match the native baseline to 1e-12.
     """
     if image is None:
         image = _phantom()
     ref = interpret_program(src, image)
-    base = _run_scheduler(src, image, schedulers[0], fuse)
+    base = _run_scheduler(src, image, schedulers[0], fuse, backend)
     for name in base:
         a, c = base[name], ref[name]
         if not np.allclose(a, c, rtol=1e-9, atol=1e-10, equal_nan=True):
             return (f"compiled ({schedulers[0]}) vs interpreter disagree on "
                     f"{name!r}: {a} vs {c}")
     for sched in schedulers[1:]:
-        out = _run_scheduler(src, image, sched, fuse)
+        out = _run_scheduler(src, image, sched, fuse, backend)
         for name in base:
             a, b = base[name], out[name]
             if not np.allclose(a, b, rtol=1e-12, atol=1e-12, equal_nan=True):
                 return (f"scheduler {sched!r} vs {schedulers[0]!r} disagree "
                         f"on {name!r}: {b} vs {a}")
+    if backend != "numpy":
+        out = _run_scheduler(src, image, schedulers[0], fuse, "numpy")
+        for name in base:
+            a, b = base[name], out[name]
+            if not np.allclose(a, b, rtol=1e-12, atol=1e-12, equal_nan=True):
+                return (f"backend {backend!r} vs 'numpy' disagree "
+                        f"on {name!r}: {a} vs {b}")
     return None
 
 
@@ -360,13 +372,15 @@ def fuzz(
     shrink: bool = True,
     progress=None,
     fuse: bool = True,
+    backend: str = "numpy",
 ) -> FuzzReport:
     """Generate and differentially check ``n`` programs.
 
     Seeds are ``seed .. seed+n-1`` so a run is reproducible and a failure
     names its seed.  ``progress`` (optional callable) receives
     ``(index, seed)`` before each sample.  ``fuse=False`` fuzzes the
-    unfused pipeline (``--no-fuse``).
+    unfused pipeline (``--no-fuse``); ``backend="c"`` fuzzes the native
+    backend against both the interpreter and the NumPy oracle.
     """
     image = _phantom()
     report = FuzzReport(n_programs=n, schedulers=tuple(schedulers))
@@ -376,14 +390,14 @@ def fuzz(
             progress(k, s)
         tree = ProgramGen(s).program_tree()
         src = render_program(tree)
-        msg = differential_check(src, image, schedulers, fuse)
+        msg = differential_check(src, image, schedulers, fuse, backend)
         if msg is None:
             continue
 
         def still_fails(cand) -> bool:
             try:
                 return differential_check(
-                    render_program(cand), image, schedulers, fuse
+                    render_program(cand), image, schedulers, fuse, backend
                 ) is not None
             except DiderotError:
                 return False  # the reduction broke compilation; skip it

@@ -30,6 +30,14 @@ preserved by construction.
 The pass runs after MidIR contraction + value numbering (which it relies on
 for the sharing of gathers and weights between co-located probes) and is
 gated by ``OptOptions.probe_fusion`` / the driver's ``--no-fuse`` flag.
+
+Fusion is decided per group by a cost model (:func:`_fusion_profitable`)
+built from the neighborhood shape: 1-D groups are never fused — BENCH_probe
+measured the incremental schedule *losing* (0.67–0.98x) on every 1-D case,
+where there is no prefix to share and the per-axis dispatch overhead
+dominates the single ``2s``-wide contraction — while for ``d ≥ 2`` the
+modelled axis-contraction cost of the shared prefix tree is never worse
+than repeating full ``(2s)^d`` contractions, so those groups always fuse.
 """
 
 from __future__ import annotations
@@ -42,12 +50,37 @@ def probe_fuse(func: Func) -> dict:
 
     Returns a counter dict: ``groups`` (fused ``probe_parts`` emitted),
     ``fused_contracts`` (``conv_contract`` s absorbed into them), ``chains``
-    (lone contractions rewritten as ``contract_axis`` chains), and
-    ``hoisted`` (weight instructions moved up to a fusion site).
+    (lone contractions rewritten as ``contract_axis`` chains), ``hoisted``
+    (weight instructions moved up to a fusion site), and ``rejected``
+    (groups the cost model left as plain ``conv_contract`` s).
     """
-    stats = {"groups": 0, "fused_contracts": 0, "chains": 0, "hoisted": 0}
+    stats = {"groups": 0, "fused_contracts": 0, "chains": 0,
+             "hoisted": 0, "rejected": 0}
     _fuse_body(func.body, stats)
     return stats
+
+
+def _fusion_profitable(dim: int, support: int, specs: list[tuple]) -> bool:
+    """Decide whether the incremental schedule beats full contractions.
+
+    ``specs`` lists, per group member, the identity of the weight vector it
+    applies on each sample axis.  Both sides are modelled as axis-by-axis
+    contraction chains — contracting axis ``L`` of a partially-contracted
+    neighborhood costs ``(2s)^(d-L+1)`` multiply-adds: an unfused member
+    pays the whole chain ``Σ_L (2s)^(d-L+1)`` itself, while fused members
+    pay once per *unique* spec prefix (partial contractions are shared
+    through the prefix tree, so duplicates are free).  For ``dim == 1``
+    the schedule can share nothing and its constant per-axis dispatch
+    overhead loses in practice (see BENCH_probe.json's 1-D rows), so 1-D
+    groups are rejected outright.
+    """
+    if dim < 2:
+        return False
+    width = 2 * support
+    chain = sum(width ** (dim - k) for k in range(dim))
+    prefixes = {spec[:k] for spec in specs for k in range(1, len(spec) + 1)}
+    fused = sum(width ** (dim - len(p) + 1) for p in prefixes)
+    return fused <= len(specs) * chain
 
 
 def _placeable(v: Value, anchor: int, pos: dict, hoist_pos: dict) -> bool:
@@ -99,6 +132,12 @@ def _fuse_body(body: Body, stats: dict) -> None:
     drop: set[int] = set()  # original indices vacated by fusion/hoisting
 
     for members in groups.values():
+        vox0 = members[0][1].args[0]
+        group_dim = len(members[0][1].args) - 1
+        group_specs = [tuple(w.id for w in m.args[1:]) for _, m in members]
+        if not _fusion_profitable(group_dim, vox0.ty[2], group_specs):
+            stats["rejected"] += 1
+            continue
         # Partition the group into subgroups whose weights can all be
         # scheduled before the subgroup's anchor (its first member's slot).
         subgroups: list[dict] = []

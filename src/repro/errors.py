@@ -39,6 +39,18 @@ class CompileError(DiderotError):
     """An internal error in a later compiler stage (simplify, IR, codegen)."""
 
 
+class CodegenError(CompileError):
+    """An error while emitting or building the native C backend.
+
+    Raised by :mod:`repro.core.codegen.cgen` when the LowIR cannot be
+    translated (unknown op, unsupported type, malformed attributes) and by
+    :mod:`repro.core.codegen.cbuild` when no C compiler/cffi is available
+    or the compilation itself fails.  ``Program.run(backend="c")`` catches
+    it and falls back to the NumPy backend with a warning; direct callers
+    of the codegen see it raised.
+    """
+
+
 class RuntimeErrorD(DiderotError):
     """An error raised while executing a compiled Diderot program."""
 

@@ -134,6 +134,29 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
         # merge at the super-step barrier
         reg = MetricsRegistry() if setup.get("metrics") else NULL_METRICS
         _mx.set_active(reg)
+        # native C backend: rebuild the kernel from the artifact cache
+        # (warmed by the master's build) and bind it to the shared views;
+        # any failure degrades this worker to the NumPy path
+        native = None
+        if setup.get("native") is not None:
+            import sys as _sys
+
+            from repro.errors import CodegenError
+            from repro.runtime.native import NativeUpdate
+
+            try:
+                from repro.core.codegen import cbuild
+
+                lib, ffi = cbuild.build(setup["native"]["c_source"])
+                native = NativeUpdate(lib, ffi, setup["native"]["plan"],
+                                      images, g, state, status)
+            except CodegenError as exc:
+                print(
+                    f"warning: process worker {wid}: native backend "
+                    f"unavailable, falling back to NumPy: {exc}",
+                    file=_sys.stderr,
+                )
+                native = None
         result_q.put(("ready", wid))
     except BaseException:
         result_q.put(("fatal", wid, traceback.format_exc()))
@@ -148,7 +171,11 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
         t0 = time.perf_counter()
         wait = t0 - idle0
         try:
-            if end - start == total:
+            if native is not None:
+                # state/status writes happen in place through the shared
+                # views for both full and partial blocks
+                native.run_range(active, start, end)
+            elif end - start == total:
                 # one block covers every strand: active[0:total] is the
                 # identity, so update shared state in place, copy-free
                 out = update(ctx, *g, *state)
@@ -204,12 +231,17 @@ class ProcessScheduler:
 
     def setup(self, source: str, images: dict, dtype, global_values,
               state: list[np.ndarray], status: np.ndarray,
-              metrics: bool = True):
+              metrics: bool = True, native=None):
         """Move state into shared memory and fork the pool.
 
         ``metrics`` tells workers whether to run their local metrics
         registry (drained into every block ack); pass False for the
         zero-overhead path.
+
+        ``native`` — optional ``{"c_source": ..., "plan": ...}`` dict from
+        the master's :mod:`~repro.core.codegen.cgen` build; workers rebuild
+        the kernel from the warm artifact cache and run blocks natively,
+        falling back per-worker to NumPy if their build fails.
 
         Returns ``(state_views, status_view)`` — the shared arrays the
         master must use for the rest of the run (stabilize scatters and
@@ -239,6 +271,7 @@ class ProcessScheduler:
                 "status": status_sa.spec(),
                 "active": active_sa.spec(),
                 "metrics": bool(metrics),
+                "native": native,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )

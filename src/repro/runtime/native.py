@@ -1,0 +1,239 @@
+"""Runtime binder for the native C backend.
+
+:class:`NativeUpdate` takes the ``(lib, ffi)`` pair from
+:mod:`repro.core.codegen.cbuild` plus the emitter's buffer *plan*
+(:mod:`repro.core.codegen.cgen`) and binds the live run arrays — strand
+state, status, image voxel blocks, global values — into the fixed
+``dd_update`` ABI.  The cffi pointer tables are built once; per block only
+the active-index pointer and the ``[start, end)`` range change, so the
+per-call Python overhead is a handful of casts.
+
+The cffi call releases the GIL for its whole duration.  Disjoint lane
+ranges touch disjoint state elements, so concurrent ``run_range`` calls
+from the thread scheduler's workers are safe — this is what turns the
+persistent thread pool into real multicore scaling.
+
+Binding validates the contract the generated code assumes: state arrays
+must be C-contiguous with the exact dtypes (float64 / int64 / bool) and
+must not alias one another (the native kernel updates them in place).
+Violations raise :class:`~repro.errors.CodegenError`, which ``Program``
+treats as "fall back to NumPy".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import CodegenError, RuntimeErrorD
+from repro.obs import metrics as _mx
+
+__all__ = ["BACKEND_NAMES", "NativeUpdate"]
+
+#: Valid values for ``Program.run(backend=...)`` / ``--backend``.
+BACKEND_NAMES = ("numpy", "c")
+
+
+def _check_state_array(arr: np.ndarray, want_dtype, what: str) -> np.ndarray:
+    if not isinstance(arr, np.ndarray):
+        raise CodegenError(f"native backend: {what} is not an ndarray")
+    if arr.dtype != np.dtype(want_dtype):
+        raise CodegenError(
+            f"native backend: {what} has dtype {arr.dtype}, expected {np.dtype(want_dtype)}"
+        )
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise CodegenError(f"native backend: {what} is not C-contiguous")
+    if not arr.flags["WRITEABLE"]:
+        raise CodegenError(f"native backend: {what} is not writeable")
+    return arr
+
+
+class NativeUpdate:
+    """One bound native update kernel over a fixed set of run arrays."""
+
+    def __init__(self, lib, ffi, plan, images, global_values, state, status):
+        self._lib = lib
+        self._ffi = ffi
+        self._plan = plan
+        #: objects that must outlive the pointer tables (cffi buffers,
+        #: flattened global copies, contiguous image casts)
+        self._keep: list = []
+
+        writable = []  # (name, array) pairs that the kernel mutates
+        # slots >= n_ret are immutable extras: read-only, never written
+        # back, so a private contiguous copy is always a safe binding
+        n_ret = plan.get("n_ret", plan["n_state"])
+
+        def readonly_state(arr, want_dtype, si):
+            arr = np.asarray(arr)
+            if arr.dtype != np.dtype(want_dtype):
+                raise CodegenError(
+                    f"native backend: state slot {si} has dtype {arr.dtype}, "
+                    f"expected {np.dtype(want_dtype)}"
+                )
+            arr = np.ascontiguousarray(arr)
+            if any(np.may_share_memory(arr, state[j]) for j in range(n_ret)):
+                arr = np.array(arr)  # aliasing a written slot: private copy
+            self._keep.append(arr)
+            return arr
+
+        def image_array(name):
+            img = images.get(name)
+            if img is None:
+                raise CodegenError(f"native backend: image {name!r} is not bound")
+            data = np.asarray(img.data)
+            if data.dtype != np.float64:
+                raise CodegenError(
+                    f"native backend: image {name!r} has dtype {data.dtype}"
+                )
+            data = np.ascontiguousarray(data)
+            self._keep.append(data)
+            return data
+
+        rp_bufs = []
+        for entry in plan["real_ptrs"]:
+            kind = entry[0]
+            if kind == "image":
+                arr = image_array(entry[1])
+            elif kind == "global":
+                arr = np.ascontiguousarray(
+                    np.asarray(global_values[entry[1]], dtype=np.float64)
+                ).reshape(-1)
+                self._keep.append(arr)
+            elif entry[1] >= n_ret:  # ("state", si) read-only extra
+                arr = readonly_state(state[entry[1]], np.float64, entry[1])
+            else:  # ("state", si)
+                arr = _check_state_array(
+                    state[entry[1]], np.float64, f"state slot {entry[1]}"
+                )
+                writable.append((f"state{entry[1]}", arr))
+            rp_bufs.append(
+                self._buf("double[]", arr,
+                          writable=kind == "state" and entry[1] < n_ret)
+            )
+
+        ip_bufs = []
+        for entry in plan["int_ptrs"]:
+            if entry[0] == "status":
+                arr = _check_state_array(status, np.int64, "status")
+                writable.append(("status", arr))
+                wr = True
+            elif entry[1] >= n_ret:
+                arr = readonly_state(state[entry[1]], np.int64, entry[1])
+                wr = False
+            else:
+                arr = _check_state_array(
+                    state[entry[1]], np.int64, f"state slot {entry[1]}"
+                )
+                writable.append((f"state{entry[1]}", arr))
+                wr = True
+            ip_bufs.append(self._buf("int64_t[]", arr, writable=wr))
+
+        bp_bufs = []
+        for entry in plan["bool_ptrs"]:
+            if entry[1] >= n_ret:
+                arr = readonly_state(state[entry[1]], np.bool_, entry[1])
+                wr = False
+            else:
+                arr = _check_state_array(
+                    state[entry[1]], np.bool_, f"state slot {entry[1]}"
+                )
+                writable.append((f"state{entry[1]}", arr))
+                wr = True
+            bp_bufs.append(self._buf("unsigned char[]", arr, writable=wr))
+
+        # The kernel writes every state array in place; aliased arrays would
+        # double-apply updates, so refuse them (Program then uses NumPy).
+        for i in range(len(writable)):
+            for j in range(i + 1, len(writable)):
+                if np.may_share_memory(writable[i][1], writable[j][1]):
+                    raise CodegenError(
+                        f"native backend: arrays {writable[i][0]} and "
+                        f"{writable[j][0]} share memory"
+                    )
+
+        sc = np.zeros(max(len(plan["sc"]), 1), dtype=np.float64)
+        entries = plan["sc"]
+        i = 0
+        while i < len(entries):
+            entry = entries[i]
+            if entry[0] == "global":
+                sc[i] = float(global_values[entry[1]])
+                i += 1
+                continue
+            kind, name = entry
+            orient = images[name].orientation
+            if kind == "origin":
+                vals = np.asarray(orient.origin, dtype=np.float64).reshape(-1)
+            elif kind == "minv":
+                vals = np.asarray(orient._m_inv, dtype=np.float64).reshape(-1)
+            elif kind == "gxf":
+                vals = np.asarray(orient._m_inv_t, dtype=np.float64).reshape(-1)
+            else:
+                raise CodegenError(f"native backend: unknown sc entry {entry!r}")
+            sc[i : i + vals.size] = vals
+            i += vals.size
+
+        ic = np.zeros(max(len(plan["ic"]), 1), dtype=np.int64)
+        entries = plan["ic"]
+        i = 0
+        while i < len(entries):
+            entry = entries[i]
+            if entry[0] == "global":
+                ic[i] = int(global_values[entry[1]])
+                i += 1
+                continue
+            kind, name = entry
+            if kind != "sizes":
+                raise CodegenError(f"native backend: unknown ic entry {entry!r}")
+            dim = plan["image_meta"][name]["dim"]
+            sizes = np.asarray(images[name].data.shape[:dim], dtype=np.int64)
+            ic[i : i + dim] = sizes
+            i += dim
+
+        self._keep.extend((sc, ic))
+        ffi = self._ffi
+        self._rp = ffi.new("double *[]", rp_bufs) if rp_bufs else ffi.NULL
+        self._ip = ffi.new("int64_t *[]", ip_bufs) if ip_bufs else ffi.NULL
+        self._bp = ffi.new("unsigned char *[]", bp_bufs) if bp_bufs else ffi.NULL
+        self._keep.extend((rp_bufs, ip_bufs, bp_bufs))
+        self._sc = self._buf("double[]", sc)
+        self._ic = self._buf("int64_t[]", ic)
+
+    def _buf(self, ctype, arr, writable=False):
+        buf = self._ffi.from_buffer(ctype, arr, require_writable=writable)
+        self._keep.append(buf)
+        return buf
+
+    def run_range(self, idx: np.ndarray, start: int = 0, end: int | None = None) -> None:
+        """Run the native update over lanes ``idx[start:end]``.
+
+        ``idx`` holds strand indices into the flat state buffers.  Raises
+        :class:`RuntimeErrorD` on an integer division by zero, mirroring
+        the NumPy backend's live-lane contract.
+        """
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        if end is None:
+            end = idx.shape[0]
+        n = int(end) - int(start)
+        if n <= 0:
+            return
+        idx_buf = self._ffi.from_buffer("int64_t[]", idx)
+        m = _mx.ACTIVE
+        if m.enabled:
+            t0 = time.perf_counter()
+            rc = self._lib.dd_update(
+                self._rp, self._ip, self._bp, self._sc, self._ic,
+                idx_buf, int(start), int(end),
+            )
+            m.op("native_update", n, time.perf_counter() - t0)
+        else:
+            rc = self._lib.dd_update(
+                self._rp, self._ip, self._bp, self._sc, self._ic,
+                idx_buf, int(start), int(end),
+            )
+        if rc == 1:
+            raise RuntimeErrorD("integer division by zero")
+        if rc != 0:
+            raise RuntimeErrorD(f"native update failed with code {rc}")

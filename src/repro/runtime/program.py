@@ -21,16 +21,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.xform.to_high import HighProgram
-from repro.errors import InputError, RuntimeErrorD
+from repro.errors import CodegenError, InputError, RuntimeErrorD
 from repro.image import Image
 from repro.nrrd import read_nrrd
 from repro.obs import NULL_TRACER, tracer_from_env, write_chrome_trace
 from repro.obs import metrics as _mx
+from repro.runtime.native import BACKEND_NAMES, NativeUpdate
 from repro.runtime.scheduler import (
-    SCHEDULER_NAMES,
+    SCHEDULER_CHOICES,
     SequentialScheduler,
     ThreadScheduler,
     make_blocks,
+    resolve_auto,
     resolve_workers,
 )
 
@@ -196,6 +198,10 @@ class Program:
         self._inputs: dict[str, object] = {}
         self._bound_images: dict[str, Image] = {}
         self._ctx: _Ctx | None = None
+        #: cached native-backend artifacts: None = not tried yet,
+        #: "failed" = tried and unavailable, else (c_source, plan, lib, ffi)
+        self._native_art = None
+        self._native_error: str | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -312,6 +318,42 @@ class Program:
         ty = table[name].ty
         return len(ty.shape) if isinstance(ty, TensorTy) else 0
 
+    # -- native backend ----------------------------------------------------------
+
+    def _native_artifacts(self):
+        """``(c_source, plan, lib, ffi)`` for this program, or ``None``.
+
+        The LowIR→C emission and the compile both happen once per
+        Program (memoized, including failures); an unavailable native
+        backend warns on stderr exactly once and the caller falls back
+        to NumPy.  The failure reason is kept in ``self._native_error``.
+        """
+        art = self._native_art
+        if art is not None:
+            return None if art == "failed" else art
+        try:
+            if np.dtype(self.dtype) != np.float64:
+                raise CodegenError(
+                    "native backend supports double precision only "
+                    "(program compiled with --single/float32)"
+                )
+            from repro.core.codegen import cbuild
+            from repro.core.codegen.cgen import generate_c_module
+
+            c_source, plan = generate_c_module(self.high)
+            lib, ffi = cbuild.build(c_source)
+        except CodegenError as exc:
+            self._native_art = "failed"
+            self._native_error = str(exc)
+            print(
+                f"warning: native backend unavailable, falling back to "
+                f"NumPy: {exc}",
+                file=sys.stderr,
+            )
+            return None
+        self._native_art = (c_source, plan, lib, ffi)
+        return self._native_art
+
     # -- execution ----------------------------------------------------------------
 
     def run(
@@ -322,6 +364,7 @@ class Program:
         tracer=None,
         scheduler: str | None = None,
         metrics=None,
+        backend: str | None = None,
     ) -> RunResult:
         """Execute the program to completion.
 
@@ -356,12 +399,21 @@ class Program:
         * ``True`` — same as ``None`` (explicit opt-in).
         * a :class:`~repro.obs.metrics.MetricsRegistry` — record into the
           caller's registry directly (no fold).
+
+        ``backend`` selects the strand-update implementation:
+        ``"numpy"`` (default) runs the generated NumPy module;
+        ``"c"`` compiles the LowIR to native code via
+        :mod:`repro.core.codegen.cgen` (results agree to 1e-12 — the
+        NumPy backend stays the differential oracle).  When no C
+        compiler or cffi is available, or the program uses a construct
+        the emitter does not support, ``"c"`` degrades to NumPy with a
+        stderr warning, never a crash.
         """
         reg, fold = _mx.resolve(metrics)
         prev = _mx.set_active(reg)
         try:
             result = self._run(workers, block_size, max_steps, tracer,
-                               scheduler, reg)
+                               scheduler, reg, backend)
         finally:
             _mx.set_active(prev)
             if reg.enabled and fold:
@@ -374,7 +426,7 @@ class Program:
         return result
 
     def _run(self, workers, block_size, max_steps, tracer, scheduler,
-             reg) -> RunResult:
+             reg, backend=None) -> RunResult:
         env_trace_path = None
         if tracer is None:
             tracer, env_trace_path = tracer_from_env()
@@ -383,10 +435,22 @@ class Program:
         workers = resolve_workers(workers)
         if scheduler is None:
             scheduler = "seq" if workers == 1 else "thread"
-        if scheduler not in SCHEDULER_NAMES:
+        if scheduler not in SCHEDULER_CHOICES:
             raise InputError(
-                f"unknown scheduler {scheduler!r}; choose from {SCHEDULER_NAMES}"
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULER_CHOICES}"
             )
+        if backend is None:
+            backend = "numpy"
+        if backend not in BACKEND_NAMES:
+            raise InputError(
+                f"unknown backend {backend!r}; choose from {BACKEND_NAMES}"
+            )
+
+        native_art = None
+        if backend == "c":
+            native_art = self._native_artifacts()
+            if native_art is None:
+                backend = "numpy"  # warned in _native_artifacts
 
         ctx = self._context()
         g = self._globals_tuple(ctx)
@@ -409,6 +473,8 @@ class Program:
         total = 1
         for s in sizes:
             total *= s
+        if scheduler == "auto":
+            scheduler = resolve_auto(workers, total, block_size, backend)
         idx = np.arange(total, dtype=np.int64)
         iter_vals = []
         rem = idx
@@ -442,20 +508,43 @@ class Program:
 
         pool = None
         sched = None
+        native = None
         if scheduler == "process":
             from repro.runtime.mpsched import ProcessScheduler
 
             pool = ProcessScheduler(workers)
             # the master's state arrays become views over the pool's
-            # shared-memory blocks: worker writes land in place
+            # shared-memory blocks: worker writes land in place.  With the
+            # C backend, workers rebuild the native kernel from the cached
+            # artifact (the master's build above warmed the cache) and run
+            # it directly over their shared views.
+            native_setup = None
+            if backend == "c" and native_art is not None:
+                native_setup = {"c_source": native_art[0],
+                                "plan": native_art[1]}
             state, status = pool.setup(
                 self.generated_source, ctx.images, self.dtype, g, state,
-                status, metrics=reg.enabled
+                status, metrics=reg.enabled, native=native_setup
             )
-        elif scheduler == "thread":
-            sched = ThreadScheduler(workers)
         else:
-            sched = SequentialScheduler()
+            if scheduler == "thread":
+                sched = ThreadScheduler(workers)
+            else:
+                sched = SequentialScheduler()
+            if backend == "c" and native_art is not None:
+                _, plan, lib, ffi = native_art
+                try:
+                    # binds the *materialized* state arrays: the native
+                    # kernel updates them in place, so the per-step result
+                    # adoption/scatter below is skipped entirely
+                    native = NativeUpdate(lib, ffi, plan, ctx.images, g,
+                                          state, status)
+                except CodegenError as exc:
+                    print(
+                        f"warning: native backend unavailable, falling "
+                        f"back to NumPy: {exc}",
+                        file=sys.stderr,
+                    )
 
         setup_dt = time.perf_counter() - t0
         if tr.enabled:
@@ -479,6 +568,21 @@ class Program:
                     n_blocks, _times = pool.run_step(
                         active_idx, block_size, tracer=tr, step=steps,
                         metrics=reg
+                    )
+                elif native is not None:
+                    blocks = make_blocks(active_idx, block_size)
+                    n_blocks = len(blocks)
+
+                    def run_native_block(block_idx: np.ndarray):
+                        # the native kernel reads and writes the bound
+                        # state/status arrays in place (disjoint lanes per
+                        # block, so concurrent thread workers are safe) and
+                        # releases the GIL for the whole call
+                        native.run_range(block_idx)
+                        return None
+
+                    _results, _times = sched.run_step(
+                        blocks, run_native_block, tracer=tr, step=steps
                     )
                 else:
                     blocks = make_blocks(active_idx, block_size)
@@ -630,11 +734,25 @@ class Program:
         parser = argparse.ArgumentParser(description="Diderot program")
         for name in self.high.input_names:
             parser.add_argument(f"--{name}", type=str, default=None)
-        parser.add_argument("--workers", type=str, default="1",
-                            help="worker count, or 'auto' for the CPU count")
-        parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
-                            help="seq, thread, or process (default: seq for "
-                                 "1 worker, thread otherwise)")
+        parser.add_argument("--workers", type=str, default=None,
+                            help="worker count, or 'auto' for the CPU count "
+                                 "(default: 1, or 'auto' with --scheduler "
+                                 "auto)")
+        parser.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
+                            default=None,
+                            help="seq, thread, process, or auto (default: "
+                                 "seq for 1 worker, thread otherwise). "
+                                 "'auto' picks seq when only one worker or "
+                                 "CPU is available or the program fits in "
+                                 "one strand block, else thread for the C "
+                                 "backend and process for NumPy")
+        parser.add_argument("--backend", choices=BACKEND_NAMES,
+                            default="numpy",
+                            help="strand-update implementation: 'numpy' "
+                                 "(generated NumPy module) or 'c' (native "
+                                 "code compiled via cffi; needs a C "
+                                 "compiler, falls back to numpy with a "
+                                 "warning if unavailable)")
         parser.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
         parser.add_argument("--trace", metavar="FILE",
                             default=os.environ.get("REPRO_TRACE") or None,
@@ -661,9 +779,13 @@ class Program:
             if raw is not None:
                 self.set_input(name, parse_value(raw))
         tracer = Tracer() if (args.trace or args.profile) else None
-        result = self.run(workers=args.workers, block_size=args.block_size,
+        workers = args.workers
+        if workers is None:
+            workers = "auto" if args.scheduler == "auto" else "1"
+        result = self.run(workers=workers, block_size=args.block_size,
                           tracer=tracer, scheduler=args.scheduler,
-                          metrics=None if args.metrics else False)
+                          metrics=None if args.metrics else False,
+                          backend=args.backend)
         if args.trace:
             write_chrome_trace(tracer, args.trace)
         if args.profile:
@@ -672,7 +794,7 @@ class Program:
         if args.metrics_out and args.metrics:
             _mx.write_metrics_json(
                 result.metrics, args.metrics_out,
-                meta={"workers": args.workers,
+                meta={"workers": workers,
                       "block_size": args.block_size,
                       "wall_seconds": result.wall_time},
             )

@@ -36,8 +36,28 @@ from repro.errors import InputError
 from repro.obs import NULL_TRACER
 from repro.obs import metrics as _mx
 
-#: the scheduler names accepted by ``Program.run`` and the CLIs
+#: the concrete scheduler names (``Program.run`` also accepts ``"auto"``)
 SCHEDULER_NAMES = ("seq", "thread", "process")
+
+#: every value accepted by ``Program.run(scheduler=...)`` / ``--scheduler``
+SCHEDULER_CHOICES = SCHEDULER_NAMES + ("auto",)
+
+
+def resolve_auto(workers: int, total: int, block_size: int,
+                 backend: str = "numpy") -> str:
+    """Pick a concrete scheduler for ``scheduler="auto"``.
+
+    The heuristic (documented in the CLI help): sequential when only one
+    worker is configured, when the machine has a single CPU (parallel
+    overhead buys nothing), or when the program is tiny (fits in one
+    strand block — fan-out costs more than the work).  Otherwise threads
+    for the native C backend (the cffi call releases the GIL, so threads
+    scale and share state for free) and processes for the NumPy backend
+    (which is GIL-bound on threads).
+    """
+    if workers == 1 or (os.cpu_count() or 1) == 1 or total <= block_size:
+        return "seq"
+    return "thread" if backend == "c" else "process"
 
 
 def resolve_workers(workers) -> int:

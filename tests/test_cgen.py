@@ -1,0 +1,238 @@
+"""Native C backend: golden equivalence, error paths, graceful fallback.
+
+The NumPy backend is the differential oracle: every example program run
+through ``--backend c`` under every scheduler must agree with the
+sequential NumPy run to 1e-12 (in practice the agreement is exact — the
+emitted C mirrors NumPy's operation order and ``-ffp-contract=off`` keeps
+FMA contraction from re-rounding).  Corrupted LowIR must surface as a
+clean :class:`~repro.errors.CodegenError`, and a missing C compiler must
+degrade to NumPy with a warning, never a crash.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import cbuild
+from repro.core.codegen.cgen import generate_c_module
+from repro.core.driver import compile_program
+from repro.errors import CodegenError, InputError
+from repro.programs import ALL
+
+requires_cc = pytest.mark.skipif(
+    not cbuild.compiler_available(),
+    reason="native backend needs cffi plus a C compiler on PATH",
+)
+
+#: per-program kwargs keeping every example tiny enough for CI
+PROGRAM_KW = {
+    "vr-lite": dict(scale=0.1, volume_size=24),
+    "illust-vr": dict(scale=0.1, volume_size=24),
+    "ridge3d": dict(scale=0.4, volume_size=24),
+    "lic2d": dict(scale=0.08),
+    "isocontour": dict(scale=0.08),
+}
+MAX_STEPS = 40  # cap the renderers; equivalence holds step by step
+
+
+def run_outputs(name, backend, scheduler="seq", workers=1, **kw):
+    prog = ALL[name].make_program(**PROGRAM_KW[name])
+    res = prog.run(max_steps=MAX_STEPS, backend=backend,
+                   scheduler=scheduler, workers=workers, **kw)
+    return res
+
+
+def assert_outputs_equal(a, b):
+    assert set(a.outputs) == set(b.outputs)
+    for k in a.outputs:
+        assert np.allclose(a.outputs[k], b.outputs[k],
+                           rtol=1e-12, atol=1e-12, equal_nan=True), k
+    assert a.steps == b.steps
+    assert a.num_stable == b.num_stable
+    assert a.num_died == b.num_died
+
+
+@requires_cc
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", list(ALL))
+    def test_seq(self, name):
+        a = run_outputs(name, "numpy")
+        b = run_outputs(name, "c")
+        assert_outputs_equal(a, b)
+
+    @pytest.mark.parametrize("name", list(ALL))
+    def test_thread(self, name):
+        a = run_outputs(name, "numpy")
+        b = run_outputs(name, "c", scheduler="thread", workers=2,
+                        block_size=37)
+        assert_outputs_equal(a, b)
+
+    @pytest.mark.parametrize("name", list(ALL))
+    def test_process(self, name):
+        a = run_outputs(name, "numpy")
+        b = run_outputs(name, "c", scheduler="process", workers=2,
+                        block_size=37)
+        assert_outputs_equal(a, b)
+
+
+@requires_cc
+class TestSemantics:
+    def test_integer_division_by_zero(self):
+        from repro.errors import RuntimeErrorD
+
+        src = """
+            strand S (int i) {
+                output int x = 1;
+                update { x = x / (i - 2); stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 5 ];
+        """
+        prog = compile_program(src)
+        with pytest.raises(RuntimeErrorD, match="division by zero"):
+            prog.run(backend="c")
+
+    def test_truncating_int_div_matches_numpy(self):
+        src = """
+            strand S (int i) {
+                output int q = 0;
+                output int r = 0;
+                update { q = (i - 3) / 2; r = (i - 3) % 2; stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 7 ];
+        """
+        a = compile_program(src).run(backend="numpy")
+        b = compile_program(src).run(backend="c")
+        assert np.array_equal(a.outputs["q"], b.outputs["q"])
+        assert np.array_equal(a.outputs["r"], b.outputs["r"])
+
+    def test_fuzz_leg(self):
+        from repro.core.verify.fuzz import fuzz
+
+        report = fuzz(n=4, seed=7, schedulers=("seq",), shrink=False,
+                      backend="c")
+        assert report.ok, report.failures[0].message
+
+    def test_native_update_metric_recorded(self):
+        from repro.obs import metrics as _mx
+
+        prog = ALL["isocontour"].make_program(**PROGRAM_KW["isocontour"])
+        with _mx.collect() as reg:
+            prog.run(max_steps=5, backend="c")
+        counters = reg.snapshot()["counters"]
+        assert counters.get("op.native_update.calls", 0) > 0
+        assert counters.get("op.native_update.seconds", 0) > 0
+
+    def test_invalid_backend_rejected(self):
+        prog = ALL["isocontour"].make_program(**PROGRAM_KW["isocontour"])
+        with pytest.raises(InputError, match="backend"):
+            prog.run(backend="fortran")
+
+
+def _corrupt(high, mutate):
+    """A structural copy of ``high`` with its update func mutated."""
+    import copy
+
+    func = copy.deepcopy(high.update_func)
+    mutate(func)
+    return SimpleNamespace(
+        update_func=func,
+        images=high.images,
+        concrete_globals=high.concrete_globals,
+        state_order=high.state_order,
+        extra_state=high.extra_state,
+    )
+
+
+class TestCorruptedLowIR:
+    """Broken LowIR raises CodegenError — never a C compile error or worse."""
+
+    @pytest.fixture(scope="class")
+    def high(self):
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { x += real(i) * 0.5; stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 3 ];
+        """
+        return compile_program(src).high
+
+    def test_unknown_op(self, high):
+        def mutate(func):
+            for ins in func.body.instructions():
+                if ins.op == "mul":
+                    ins.op = "frobnicate"
+        with pytest.raises(CodegenError, match="unsupported LowIR op"):
+            generate_c_module(_corrupt(high, mutate))
+
+    def test_bad_const_payload(self, high):
+        def mutate(func):
+            for ins in func.body.instructions():
+                if ins.op == "const":
+                    ins.attrs["value"] = object()
+        with pytest.raises(CodegenError):
+            generate_c_module(_corrupt(high, mutate))
+
+    def test_unknown_image_reference(self, high):
+        def mutate(func):
+            for ins in func.body.instructions():
+                if ins.op == "mul":
+                    ins.attrs["image"] = "ghost"
+        with pytest.raises(CodegenError, match="unknown image"):
+            generate_c_module(_corrupt(high, mutate))
+
+    def test_result_arity_mismatch(self, high):
+        def mutate(func):
+            func.results = func.results + func.results
+        with pytest.raises(CodegenError, match="arity"):
+            generate_c_module(_corrupt(high, mutate))
+
+
+class TestFallback:
+    def test_missing_compiler_warns_and_matches_numpy(self, monkeypatch, capsys):
+        monkeypatch.setattr(cbuild, "find_compiler", lambda: None)
+        a = run_outputs("isocontour", "numpy")
+        b = run_outputs("isocontour", "c")
+        err = capsys.readouterr().err
+        assert "falling back to NumPy" in err
+        assert_outputs_equal(a, b)
+
+    def test_single_precision_falls_back(self, capsys):
+        prog = ALL["isocontour"].make_program(precision="single",
+                                              **PROGRAM_KW["isocontour"])
+        res = prog.run(max_steps=5, backend="c")
+        err = capsys.readouterr().err
+        assert "falling back to NumPy" in err
+        assert res.steps > 0
+
+    def test_failed_build_is_cached_once(self, monkeypatch, capsys):
+        monkeypatch.setattr(cbuild, "find_compiler", lambda: None)
+        prog = ALL["isocontour"].make_program(**PROGRAM_KW["isocontour"])
+        prog.run(max_steps=2, backend="c")
+        assert "falling back" in capsys.readouterr().err
+        prog.run(max_steps=2, backend="c")
+        # second run reuses the cached failure without re-warning
+        assert "falling back" not in capsys.readouterr().err
+
+
+@requires_cc
+class TestArtifactCache:
+    def test_cache_reused_across_builds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CGEN_CACHE", str(tmp_path))
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { x += 1.0; stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 3 ];
+        """
+        c_source, _ = generate_c_module(compile_program(src).high)
+        cbuild.build(c_source)
+        sos = list(tmp_path.glob("*.so"))
+        assert len(sos) == 1
+        stamp = sos[0].stat().st_mtime_ns
+        cbuild.build(c_source)  # hit: same artifact, no rebuild
+        assert sos[0].stat().st_mtime_ns == stamp

@@ -198,6 +198,61 @@ class TestDriverAB:
         assert "rt.conv_contract" not in fused_src
 
 
+class TestCostModel:
+    """The per-group profitability decision (BENCH_probe's 1-D regression)."""
+
+    def test_one_d_rejected(self):
+        from repro.core.xform.probe_fuse import _fusion_profitable
+
+        assert not _fusion_profitable(1, 2, [(0,), (1,)])
+        assert not _fusion_profitable(1, 1, [(0,)])
+
+    def test_multi_d_accepted(self):
+        from repro.core.xform.probe_fuse import _fusion_profitable
+
+        assert _fusion_profitable(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert _fusion_profitable(3, 2, [(0, 0, 0)])  # lone chain
+
+    @pytest.mark.parametrize("deriv,kname",
+                             [(d, k) for (dim, d, k) in COMBOS if dim == 1])
+    def test_one_d_generates_unfused_code(self, deriv, kname):
+        """1-D groups are left alone: fused output == unfused output.
+
+        SSA value ids are process-global, so the sources are compared
+        after canonical renumbering.
+        """
+        import re
+
+        def canon(src: str) -> str:
+            names: dict[str, str] = {}
+            return re.sub(
+                r"\bv\d+\b",
+                lambda m: names.setdefault(m.group(0), f"x{len(names)}"),
+                src,
+            )
+
+        src = probe_source(1, deriv, kname)
+        fused_src, _, _ = compile_to_source(
+            src, optimize=OptOptions(probe_fusion=True))
+        unfused_src, _, _ = compile_to_source(
+            src, optimize=OptOptions(probe_fusion=False))
+        assert canon(fused_src) == canon(unfused_src)
+        assert "rt.probe_parts" not in fused_src
+        assert "rt.contract_axis" not in fused_src
+
+    def test_rejection_counted_in_stats(self):
+        from repro.core.driver import compile_to_source as cts
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        cts(probe_source(1, 1, "bspln3"), tracer=tr,
+            optimize=OptOptions(probe_fusion=True))
+        spans = [e for e in tr.events if e.cat == "pass"
+                 and e.name == "probe-fuse"]
+        assert any(e.args.get("rejected", 0) >= 1 for e in spans)
+        assert all(e.args.get("groups", 0) == 0 for e in spans)
+
+
 def _func(body: Body, results: list[Value]) -> Func:
     return Func("f", [], [], body, results,
                 [f"r{i}" for i in range(len(results))])
