@@ -18,7 +18,13 @@ Reads the headline numbers the benchmarks just wrote under
   ``cpu_count``** so starved runners skip rather than fail;
 * ``native.min_speedup`` — the C backend's single-core speedup over
   NumPy on the 3-D Hessian probe (``bench_native.py``) must not decay
-  below the floor.
+  below the floor;
+* ``native.min_batch_speedup`` — the batched SIMD kernel's in-kernel
+  speedup over the scalar (batch-width-1) C kernel.  Gated on the
+  recorded ``scale`` (smoke runs are setup-dominated), and the
+  thread-scaling leg must have actually run whenever the recorded
+  ``cpu_count`` allows it — a null ``thread2_speedup`` on a ≥2-core
+  machine is a lost measurement, not a skip.
 
 Ratio/bound checks (not absolute seconds) keep the gate portable across
 machines; cross-commit wall-clock drift is tracked separately in
@@ -116,7 +122,29 @@ def check_native(doc, bounds, failures) -> None:
     if got < floor:
         failures.append(
             f"native: C backend speedup {got:.2f}x < floor {floor}x")
+    floor_b = bounds.get("min_batch_speedup")
+    got_b = doc.get("batch_kernel_speedup")
+    if floor_b is not None and got_b is not None:
+        if doc.get("scale", 1.0) >= 0.9:
+            status = "ok  " if got_b >= floor_b else "FAIL"
+            print(f"{status}  native: batched-vs-scalar kernel speedup "
+                  f"{got_b:.2f}x (floor {floor_b}x)")
+            if got_b < floor_b:
+                failures.append(
+                    f"native: batched SIMD kernel speedup {got_b:.2f}x < "
+                    f"floor {floor_b}x over the scalar C kernel")
+        else:
+            print(f"note  native: batched-vs-scalar kernel speedup "
+                  f"{got_b:.2f}x at smoke scale {doc.get('scale')} — "
+                  f"floor {floor_b}x applies at full scale only")
     t2 = doc.get("thread2_speedup")
+    cores = doc.get("cpu_count")
+    if t2 is None and cores is not None and cores >= 2:
+        print("FAIL  native: thread-scaling leg missing despite "
+              f"{cores} cores")
+        failures.append(
+            f"native: thread2_speedup is null but the run recorded "
+            f"{cores} cores — the thread leg must run when cpu_count >= 2")
     if t2 is not None:
         status = "ok  " if t2 > 1.0 else "FAIL"
         print(f"{status}  native: thread@2 over seq (C backend) {t2:.2f}x")

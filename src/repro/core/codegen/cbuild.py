@@ -8,18 +8,26 @@ Thin wrapper around the system C compiler and :mod:`cffi`'s ABI mode:
   :mod:`repro.core.codegen.cgen` into a shared object and ``dlopen`` it,
   returning ``(lib, ffi)``.
 
-Artifacts are cached on disk keyed by a hash of the source, the compiler
-command line, and the toolchain versions, so repeat builds of the same
-program are a single ``dlopen``.  The cache directory is
+Artifacts are cached on disk keyed by a hash of the source, the exact flag
+set, the compiler path, and the toolchain version (``cc --version``), so
+repeat builds of the same program are a single ``dlopen`` — and a flags or
+toolchain change can never serve a stale ``.so``.  The cache directory is
 ``$REPRO_CGEN_CACHE`` or ``~/.cache/repro-cgen``; each entry stores both
 ``<key>.c`` (for inspection/debugging) and ``<key>.so``.  Writes go through
 a pid-suffixed temporary plus :func:`os.replace`, so concurrent builders
 (e.g. forked process-scheduler workers racing on a cold cache) are safe.
 
-``-ffp-contract=off`` is load-bearing: it forbids fused multiply-adds so
-the native kernels round exactly like the NumPy oracle.  All failures are
-wrapped in :class:`~repro.errors.CodegenError` so ``Program`` can fall back
-to the NumPy backend.
+Flag sets come from :func:`flags_for`: both precisions build with
+``-O3 -march=native -fno-math-errno -fopenmp-simd`` so the batched lane
+loops emitted by :mod:`~repro.core.codegen.cgen` actually vectorize.  On the
+double-precision path ``-ffp-contract=off`` is load-bearing: it forbids
+fused multiply-adds so the native kernels round exactly like the NumPy
+oracle.  The single-precision path omits it (FMA allowed; its oracle
+tolerance is relaxed).  If the compiler rejects ``-march=native`` (exotic
+targets), the build retries once without it — the cache key still reflects
+the *requested* flags.  All failures are wrapped in
+:class:`~repro.errors.CodegenError` so ``Program`` can fall back to the
+NumPy backend.
 """
 
 from __future__ import annotations
@@ -33,17 +41,46 @@ import tempfile
 
 from ...errors import CodegenError
 
-__all__ = ["CDEF", "build", "cache_dir", "compiler_available", "find_compiler"]
+__all__ = [
+    "CDEF",
+    "CFLAGS",
+    "build",
+    "cache_dir",
+    "compiler_available",
+    "find_compiler",
+    "flags_for",
+]
 
 #: The fixed entry-point ABI shared by every generated module (see cgen).
+#: RP entries point at dd_real payloads (double or float per the plan's
+#: ``real_dtype``), so the table itself is ``void **``.
 CDEF = (
-    "int dd_update(double **RP, int64_t **IP, unsigned char **BP,"
+    "int dd_update(void **RP, int64_t **IP, unsigned char **BP,"
     " const double *SC, const int64_t *IC,"
     " const int64_t *idx, int64_t start, int64_t end);"
 )
 
-#: Compiler flags; -ffp-contract=off keeps FMA off for NumPy bit-parity.
-CFLAGS = ["-O3", "-ffp-contract=off", "-fno-math-errno", "-fPIC", "-shared", "-w"]
+
+def flags_for(single: bool = False) -> list[str]:
+    """Compiler flag set for a kernel of the given precision."""
+    flags = ["-O3"]
+    if not single:
+        # forbids FMA contraction so double kernels round exactly like the
+        # NumPy oracle (1e-12 differential agreement)
+        flags.append("-ffp-contract=off")
+    flags += [
+        "-march=native",
+        "-fno-math-errno",
+        "-fopenmp-simd",
+        "-fPIC",
+        "-shared",
+        "-w",
+    ]
+    return flags
+
+
+#: Default (double-precision) compiler flags.
+CFLAGS = flags_for(False)
 
 _COMPILERS = ("cc", "gcc", "clang")
 
@@ -79,10 +116,10 @@ def cache_dir() -> str:
     return d
 
 
-def _cache_key(c_source: str, cc: str) -> str:
+def _cache_key(c_source: str, cc: str, flags: list[str]) -> str:
     h = hashlib.sha256()
     h.update(c_source.encode())
-    h.update("\0".join(CFLAGS).encode())
+    h.update("\0".join(flags).encode())
     h.update(cc.encode())
     h.update(platform.machine().encode())
     # toolchain version: a new compiler may emit different code for the
@@ -112,15 +149,18 @@ def _atomic_write(path: str, data: bytes) -> None:
         raise
 
 
-def build(c_source: str):
+def build(c_source: str, flags: list[str] | None = None):
     """Compile ``c_source`` (or reuse a cached artifact) and dlopen it.
 
-    Returns ``(lib, ffi)`` where ``lib.dd_update`` is the native entry
-    point.  The cffi call releases the GIL for its whole duration, which is
-    what lets the thread scheduler scale across cores.  Raises
-    :class:`CodegenError` when no compiler/cffi is available or the build
-    fails.
+    ``flags`` defaults to the double-precision :data:`CFLAGS`; pass
+    ``flags_for(True)`` for single-precision kernels.  Returns
+    ``(lib, ffi)`` where ``lib.dd_update`` is the native entry point.  The
+    cffi call releases the GIL for its whole duration, which is what lets
+    the thread scheduler scale across cores.  Raises :class:`CodegenError`
+    when no compiler/cffi is available or the build fails.
     """
+    if flags is None:
+        flags = CFLAGS
     if not _have_cffi():
         raise CodegenError("native backend unavailable: cffi is not importable")
     cc = find_compiler()
@@ -132,7 +172,7 @@ def build(c_source: str):
     import cffi
 
     d = cache_dir()
-    key = _cache_key(c_source, cc)
+    key = _cache_key(c_source, cc, flags)
     so_path = os.path.join(d, f"{key}.so")
     c_path = os.path.join(d, f"{key}.c")
 
@@ -142,11 +182,21 @@ def build(c_source: str):
         os.close(fd)
         try:
             proc = subprocess.run(
-                [cc, *CFLAGS, "-o", tmp_so, c_path, "-lm"],
+                [cc, *flags, "-o", tmp_so, c_path, "-lm"],
                 capture_output=True,
                 text=True,
                 timeout=300,
             )
+            if proc.returncode != 0 and "-march=native" in flags:
+                # some toolchains/targets reject -march=native; retry
+                # without it (the cache key stays on the requested flags)
+                retry = [f for f in flags if f != "-march=native"]
+                proc = subprocess.run(
+                    [cc, *retry, "-o", tmp_so, c_path, "-lm"],
+                    capture_output=True,
+                    text=True,
+                    timeout=300,
+                )
             if proc.returncode != 0:
                 raise CodegenError(
                     f"native backend: C compilation failed:\n{proc.stderr.strip()}"

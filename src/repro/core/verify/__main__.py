@@ -40,11 +40,13 @@ def _cmd_fuzz(ns) -> int:
         if ns.progress else None,
         fuse=not ns.no_fuse,
         backend=ns.backend,
+        precision="single" if ns.single else "double",
     )
     print(f"fuzz: {report.n_programs} programs, schedulers "
           f"{'/'.join(report.schedulers)}"
           f"{', probe fusion off' if ns.no_fuse else ''}"
-          f"{f', backend {ns.backend}' if ns.backend != 'numpy' else ''}: "
+          f"{f', backend {ns.backend}' if ns.backend != 'numpy' else ''}"
+          f"{', single precision' if ns.single else ''}: "
           f"{'all agree' if report.ok else f'{len(report.failures)} FAILURES'}")
     for f in report.failures:
         print(f"\nseed {f.seed}: {f.message}\nminimized reproducer:")
@@ -104,6 +106,9 @@ def main(argv=None) -> int:
     p.add_argument("--backend", choices=("numpy", "c"), default="numpy",
                    help="strand-update backend for the compiled legs "
                         "(c additionally diffs against the NumPy oracle)")
+    p.add_argument("--single", action="store_true",
+                   help="compile the legs in single precision; the float64 "
+                        "interpreter stays the oracle at relaxed tolerance")
     p.add_argument("--progress", action="store_true")
     p.set_defaults(fn=_cmd_fuzz)
 

@@ -147,7 +147,8 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
             try:
                 from repro.core.codegen import cbuild
 
-                lib, ffi = cbuild.build(setup["native"]["c_source"])
+                lib, ffi = cbuild.build(setup["native"]["c_source"],
+                                        flags=setup["native"].get("flags"))
                 native = NativeUpdate(lib, ffi, setup["native"]["plan"],
                                       images, g, state, status)
             except CodegenError as exc:
@@ -238,10 +239,11 @@ class ProcessScheduler:
         registry (drained into every block ack); pass False for the
         zero-overhead path.
 
-        ``native`` — optional ``{"c_source": ..., "plan": ...}`` dict from
-        the master's :mod:`~repro.core.codegen.cgen` build; workers rebuild
-        the kernel from the warm artifact cache and run blocks natively,
-        falling back per-worker to NumPy if their build fails.
+        ``native`` — optional ``{"c_source": ..., "plan": ..., "flags": ...}``
+        dict from the master's :mod:`~repro.core.codegen.cgen` build; workers
+        rebuild the kernel from the warm artifact cache (same flag set, so
+        the same cache key) and run blocks natively, falling back per-worker
+        to NumPy if their build fails.
 
         Returns ``(state_views, status_view)`` — the shared arrays the
         master must use for the rest of the run (stabilize scatters and

@@ -6,7 +6,10 @@
 state, status, image voxel blocks, global values — into the fixed
 ``dd_update`` ABI.  The cffi pointer tables are built once; per block only
 the active-index pointer and the ``[start, end)`` range change, so the
-per-call Python overhead is a handful of casts.
+per-call Python overhead is a handful of casts.  When the index window is a
+contiguous ascending run, ``run_range`` passes a NULL index pointer and the
+batched kernel maps lanes directly (``lane == k``) — the common dense case
+skips the per-lane gather entirely.
 
 The cffi call releases the GIL for its whole duration.  Disjoint lane
 ranges touch disjoint state elements, so concurrent ``run_range`` calls
@@ -14,10 +17,12 @@ from the thread scheduler's workers are safe — this is what turns the
 persistent thread pool into real multicore scaling.
 
 Binding validates the contract the generated code assumes: state arrays
-must be C-contiguous with the exact dtypes (float64 / int64 / bool) and
-must not alias one another (the native kernel updates them in place).
-Violations raise :class:`~repro.errors.CodegenError`, which ``Program``
-treats as "fall back to NumPy".
+must be C-contiguous with the exact dtypes and must not alias one another
+(the native kernel updates them in place).  Real-valued buffers follow the
+plan's ``real_dtype`` — float64 for default-precision kernels, float32 for
+``--single`` ones; the SC table stays float64 either way (the kernel casts
+once at entry).  Violations raise :class:`~repro.errors.CodegenError`,
+which ``Program`` treats as "fall back to NumPy".
 """
 
 from __future__ import annotations
@@ -60,6 +65,9 @@ class NativeUpdate:
         #: flattened global copies, contiguous image casts)
         self._keep: list = []
 
+        real_dtype = np.dtype(plan.get("real_dtype", "float64"))
+        real_ctype = "float[]" if real_dtype == np.float32 else "double[]"
+
         writable = []  # (name, array) pairs that the kernel mutates
         # slots >= n_ret are immutable extras: read-only, never written
         # back, so a private contiguous copy is always a safe binding
@@ -83,9 +91,10 @@ class NativeUpdate:
             if img is None:
                 raise CodegenError(f"native backend: image {name!r} is not bound")
             data = np.asarray(img.data)
-            if data.dtype != np.float64:
+            if data.dtype != real_dtype:
                 raise CodegenError(
-                    f"native backend: image {name!r} has dtype {data.dtype}"
+                    f"native backend: image {name!r} has dtype {data.dtype}, "
+                    f"expected {real_dtype}"
                 )
             data = np.ascontiguousarray(data)
             self._keep.append(data)
@@ -98,18 +107,18 @@ class NativeUpdate:
                 arr = image_array(entry[1])
             elif kind == "global":
                 arr = np.ascontiguousarray(
-                    np.asarray(global_values[entry[1]], dtype=np.float64)
+                    np.asarray(global_values[entry[1]], dtype=real_dtype)
                 ).reshape(-1)
                 self._keep.append(arr)
             elif entry[1] >= n_ret:  # ("state", si) read-only extra
-                arr = readonly_state(state[entry[1]], np.float64, entry[1])
+                arr = readonly_state(state[entry[1]], real_dtype, entry[1])
             else:  # ("state", si)
                 arr = _check_state_array(
-                    state[entry[1]], np.float64, f"state slot {entry[1]}"
+                    state[entry[1]], real_dtype, f"state slot {entry[1]}"
                 )
                 writable.append((f"state{entry[1]}", arr))
             rp_bufs.append(
-                self._buf("double[]", arr,
+                self._buf(real_ctype, arr,
                           writable=kind == "state" and entry[1] < n_ret)
             )
 
@@ -194,7 +203,11 @@ class NativeUpdate:
 
         self._keep.extend((sc, ic))
         ffi = self._ffi
-        self._rp = ffi.new("double *[]", rp_bufs) if rp_bufs else ffi.NULL
+        self._rp = (
+            ffi.new("void *[]", [ffi.cast("void *", b) for b in rp_bufs])
+            if rp_bufs
+            else ffi.NULL
+        )
         self._ip = ffi.new("int64_t *[]", ip_bufs) if ip_bufs else ffi.NULL
         self._bp = ffi.new("unsigned char *[]", bp_bufs) if bp_bufs else ffi.NULL
         self._keep.extend((rp_bufs, ip_bufs, bp_bufs))
@@ -219,7 +232,19 @@ class NativeUpdate:
         n = int(end) - int(start)
         if n <= 0:
             return
-        idx_buf = self._ffi.from_buffer("int64_t[]", idx)
+        # Dense fast path: a contiguous ascending index run maps lanes
+        # directly (lane == k), so pass NULL and let the kernel skip the
+        # per-lane gather.  The span check is O(1); the full stride-1
+        # confirmation only runs when the span already matches.
+        seg = idx[int(start) : int(end)]
+        first = int(seg[0])
+        if int(seg[-1]) - first == n - 1 and (
+            n <= 2 or bool(np.all(np.diff(seg) == 1))
+        ):
+            idx_buf = self._ffi.NULL
+            start, end = first, first + n
+        else:
+            idx_buf = self._ffi.from_buffer("int64_t[]", idx)
         m = _mx.ACTIVE
         if m.enabled:
             t0 = time.perf_counter()

@@ -332,16 +332,24 @@ class Program:
         if art is not None:
             return None if art == "failed" else art
         try:
-            if np.dtype(self.dtype) != np.float64:
+            if np.dtype(self.dtype) == np.float64:
+                single = False
+            elif np.dtype(self.dtype) == np.float32:
+                single = True
+            else:
                 raise CodegenError(
-                    "native backend supports double precision only "
-                    "(program compiled with --single/float32)"
+                    f"native backend: unsupported program dtype {np.dtype(self.dtype)}"
                 )
             from repro.core.codegen import cbuild
             from repro.core.codegen.cgen import generate_c_module
 
-            c_source, plan = generate_c_module(self.high)
-            lib, ffi = cbuild.build(c_source)
+            # REPRO_CGEN_BATCH overrides the lane-batch width (1 = the
+            # scalar baseline kernel; used by bench_native's ablation leg)
+            batch_env = os.environ.get("REPRO_CGEN_BATCH")
+            batch = int(batch_env) if batch_env else None
+            flags = cbuild.flags_for(single)
+            c_source, plan = generate_c_module(self.high, single=single, batch=batch)
+            lib, ffi = cbuild.build(c_source, flags=flags)
         except CodegenError as exc:
             self._native_art = "failed"
             self._native_error = str(exc)
@@ -520,8 +528,15 @@ class Program:
             # it directly over their shared views.
             native_setup = None
             if backend == "c" and native_art is not None:
-                native_setup = {"c_source": native_art[0],
-                                "plan": native_art[1]}
+                from repro.core.codegen import cbuild
+
+                native_setup = {
+                    "c_source": native_art[0],
+                    "plan": native_art[1],
+                    "flags": cbuild.flags_for(
+                        native_art[1].get("real_dtype") == "float32"
+                    ),
+                }
             state, status = pool.setup(
                 self.generated_source, ctx.images, self.dtype, g, state,
                 status, metrics=reg.enabled, native=native_setup

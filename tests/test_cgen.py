@@ -4,9 +4,16 @@ The NumPy backend is the differential oracle: every example program run
 through ``--backend c`` under every scheduler must agree with the
 sequential NumPy run to 1e-12 (in practice the agreement is exact — the
 emitted C mirrors NumPy's operation order and ``-ffp-contract=off`` keeps
-FMA contraction from re-rounding).  Corrupted LowIR must surface as a
-clean :class:`~repro.errors.CodegenError`, and a missing C compiler must
-degrade to NumPy with a warning, never a crash.
+FMA contraction from re-rounding).  The kernel is strand-batched
+(``DD_VB`` SoA lanes per iteration), so equivalence is additionally
+pinned at scheduler block sizes 1/64/4096 — full blocks, lane tails, and
+single-lane degenerate batches all hit the same double-precision oracle —
+and with the batch width forced to 1 (``REPRO_CGEN_BATCH=1``), the scalar
+baseline benchmarks use.  Single precision (``precision="single"``) runs
+natively too, checked against the float64 NumPy run at the relaxed
+tolerance DESIGN.md documents (1e-5 relative).  Corrupted LowIR must
+surface as a clean :class:`~repro.errors.CodegenError`, and a missing C
+compiler must degrade to NumPy with a warning, never a crash.
 """
 
 from __future__ import annotations
@@ -76,6 +83,67 @@ class TestGoldenEquivalence:
         b = run_outputs(name, "c", scheduler="process", workers=2,
                         block_size=37)
         assert_outputs_equal(a, b)
+
+    # Block sizes that stress the batched kernel's lane handling: 1 is the
+    # all-tail degenerate case (every batch is a partial lane group), 64 is
+    # a mix of full batches and tails, 4096 exceeds every example's strand
+    # count so one block covers the whole population.
+    @pytest.mark.parametrize("block_size", [1, 64, 4096])
+    @pytest.mark.parametrize("scheduler", ["seq", "thread", "process"])
+    def test_batched_block_sizes(self, scheduler, block_size):
+        a = run_outputs("ridge3d", "numpy")
+        workers = 1 if scheduler == "seq" else 2
+        b = run_outputs("ridge3d", "c", scheduler=scheduler,
+                        workers=workers, block_size=block_size)
+        assert_outputs_equal(a, b)
+
+    def test_forced_scalar_batch_matches_default(self, monkeypatch):
+        # REPRO_CGEN_BATCH=1 is the scalar-baseline kernel the benchmarks
+        # ablate against; it must produce bit-identical results.
+        a = run_outputs("ridge3d", "c")
+        monkeypatch.setenv("REPRO_CGEN_BATCH", "1")
+        b = run_outputs("ridge3d", "c")
+        assert_outputs_equal(a, b)
+
+
+@requires_cc
+class TestSinglePrecision:
+    """``--single`` runs natively: float32 kernels vs the float64 oracle."""
+
+    def _single_vs_double(self, name, capsys):
+        double = run_outputs(name, "numpy")
+        prog = ALL[name].make_program(precision="single", **PROGRAM_KW[name])
+        single = prog.run(max_steps=MAX_STEPS, backend="c")
+        assert "falling back to NumPy" not in capsys.readouterr().err
+        assert set(single.outputs) == set(double.outputs)
+        for k in single.outputs:
+            assert single.outputs[k].dtype == np.float32, k
+            assert np.allclose(single.outputs[k], double.outputs[k],
+                               rtol=1e-5, atol=1e-5, equal_nan=True), k
+
+    def test_ridge3d_single_native(self, capsys):
+        self._single_vs_double("ridge3d", capsys)
+
+    def test_lic2d_single_native(self, capsys):
+        self._single_vs_double("lic2d", capsys)
+
+    def test_single_schedulers_agree(self):
+        prog = ALL["ridge3d"].make_program(precision="single",
+                                           **PROGRAM_KW["ridge3d"])
+        a = prog.run(max_steps=MAX_STEPS, backend="c")
+        for scheduler in ("thread", "process"):
+            prog2 = ALL["ridge3d"].make_program(precision="single",
+                                                **PROGRAM_KW["ridge3d"])
+            b = prog2.run(max_steps=MAX_STEPS, backend="c",
+                          scheduler=scheduler, workers=2, block_size=37)
+            assert_outputs_equal(a, b)
+
+    def test_single_fuzz_leg(self):
+        from repro.core.verify.fuzz import fuzz
+
+        report = fuzz(n=2, seed=3, schedulers=("seq",), shrink=False,
+                      backend="c", precision="single")
+        assert report.ok, report.failures[0].message
 
 
 @requires_cc
@@ -200,7 +268,9 @@ class TestFallback:
         assert "falling back to NumPy" in err
         assert_outputs_equal(a, b)
 
-    def test_single_precision_falls_back(self, capsys):
+    def test_single_precision_missing_compiler_falls_back(self, monkeypatch,
+                                                          capsys):
+        monkeypatch.setattr(cbuild, "find_compiler", lambda: None)
         prog = ALL["isocontour"].make_program(precision="single",
                                               **PROGRAM_KW["isocontour"])
         res = prog.run(max_steps=5, backend="c")
@@ -236,3 +306,26 @@ class TestArtifactCache:
         stamp = sos[0].stat().st_mtime_ns
         cbuild.build(c_source)  # hit: same artifact, no rebuild
         assert sos[0].stat().st_mtime_ns == stamp
+
+    def test_flag_change_forces_rebuild(self, tmp_path, monkeypatch):
+        # Flags are part of the cache key: the same source built with a
+        # different flag set must land in a new artifact, not reuse the old
+        # .so (stale codegen options are a silent-miscompilation hazard).
+        monkeypatch.setenv("REPRO_CGEN_CACHE", str(tmp_path))
+        src = """
+            strand S (int i) {
+                output real x = 0.0;
+                update { x += 2.0; stabilize; }
+            }
+            initially [ S(i) | i in 0 .. 3 ];
+        """
+        c_source, _ = generate_c_module(compile_program(src).high)
+        cbuild.build(c_source, flags=cbuild.flags_for(False))
+        assert len(list(tmp_path.glob("*.so"))) == 1
+        flipped = ["-O2" if f == "-O3" else f
+                   for f in cbuild.flags_for(False)]
+        cbuild.build(c_source, flags=flipped)
+        assert len(list(tmp_path.glob("*.so"))) == 2
+        # and the single-precision flag set differs from the double one
+        cbuild.build(c_source, flags=cbuild.flags_for(True))
+        assert len(list(tmp_path.glob("*.so"))) == 3

@@ -101,8 +101,9 @@ class TestHarnessCatchesBugs:
 
         real = fz._run_scheduler
 
-        def broken(src, image, scheduler, fuse=True, backend="numpy"):
-            out = real(src, image, scheduler, fuse, backend)
+        def broken(src, image, scheduler, fuse=True, backend="numpy",
+                   precision="double"):
+            out = real(src, image, scheduler, fuse, backend, precision)
             if scheduler == "thread":
                 out = {k: v + (1e-6 if v.dtype.kind == "f" else 1)
                        for k, v in out.items()}
