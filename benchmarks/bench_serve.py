@@ -1,0 +1,167 @@
+"""Serving layer: compile-once economics and coalesced-batch throughput.
+
+Two headline measurements for the serving layer (DESIGN.md "Serving
+layer"):
+
+1. **Cold vs warm compile** — the persistent compile cache keys on the
+   normalized HighIR, so the second ``compile_program`` of the same
+   program skips contraction, value numbering, lowering, and codegen and
+   just unpickles artifacts.  We compile ``illust_vr`` (the heaviest
+   compile in the repo: F, ∇F and ∇⊗∇F probes) cold and warm and report
+   the speedup plus the per-pass time a hit avoids.
+
+2. **Coalesced vs singleton probe serving** — the front door coalesces
+   concurrent probe requests into one strand batch.  We compare N
+   singleton ``run_batch`` calls against one N-point batch through a
+   warm :class:`~repro.serve.registry.ProgramEntry` and report
+   points/sec both ways; the coalesced path amortizes per-run setup
+   (input resolution, scheduler dispatch) over the whole batch.
+
+Results go to ``benchmarks/results/serve.json`` and the repo root
+``BENCH_serve.json``, plus a ``history.jsonl`` row for the regression
+tracker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+from conftest import SCALE, append_history, measure, record
+
+from repro.core.driver import compile_program
+from repro.obs import Tracer
+from repro.programs import illust_vr
+from repro.serve.registry import ProbeSpec, ProgramRegistry
+
+EXAMPLE = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "examples", "programs", "probe_serve.diderot")
+
+#: singleton requests folded into one coalesced batch
+BATCH = max(16, int(round(64 * SCALE)))
+REPEATS = 3
+
+#: backend pass spans a cache hit must not re-run
+BACKEND_PASSES = ("contraction", "value-numbering", "midir", "probe-fuse",
+                  "lowir", "codegen")
+
+
+def _pass_seconds(tracer: Tracer) -> dict:
+    out = {}
+    for ev in tracer.spans("pass"):
+        out[ev.name] = out.get(ev.name, 0.0) + ev.dur
+    return out
+
+
+def test_compile_cache_cold_vs_warm(benchmark):
+    rows = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_COMPILE_CACHE_DIR"] = tmp
+        try:
+            tr_cold = Tracer()
+            t0 = time.perf_counter()
+            compile_program(illust_vr.SOURCE, precision="single",
+                            tracer=tr_cold, cache=True)
+            cold = time.perf_counter() - t0
+
+            warm = measure(
+                lambda: compile_program(illust_vr.SOURCE, precision="single",
+                                        cache=True),
+                repeats=REPEATS,
+            )
+            tr_warm = Tracer()
+            compile_program(illust_vr.SOURCE, precision="single",
+                            tracer=tr_warm, cache=True)
+        finally:
+            del os.environ["REPRO_COMPILE_CACHE_DIR"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    cold_passes = _pass_seconds(tr_cold)
+    warm_passes = _pass_seconds(tr_warm)
+    skipped = sum(cold_passes.get(p, 0.0) for p in BACKEND_PASSES)
+    speedup = cold / warm if warm > 0 else float("inf")
+
+    print(f"\n\nCompile cache — illust_vr, best of {REPEATS}")
+    print(f"  cold compile: {cold * 1e3:8.1f}ms "
+          f"(backend passes {skipped * 1e3:.1f}ms)")
+    print(f"  warm compile: {warm * 1e3:8.1f}ms   speedup {speedup:.1f}x")
+
+    # contract, not a timing: a hit must skip every backend pass
+    for p in BACKEND_PASSES:
+        assert p not in warm_passes, f"cache hit re-ran {p}"
+    assert warm < cold
+
+    rows["compile"] = {
+        "cold_s": cold, "warm_s": warm, "speedup": speedup,
+        "backend_pass_s": skipped,
+        "cold_passes": cold_passes,
+    }
+    _finish(rows)
+
+
+def _finish(rows):
+    """Accumulate both tests' rows into one payload (file-level merge)."""
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "serve.json")
+    merged = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fp:
+                merged = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged.update(rows)
+    merged["scale"] = SCALE
+    record("serve", merged)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "BENCH_serve.json"), "w") as fp:
+        json.dump(merged, fp, indent=2, default=float)
+
+
+def test_batched_vs_singleton_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    points = np.asarray(rng.random((BATCH, 3)) * 30.0)
+    registry = ProgramRegistry()
+    try:
+        entry = registry.register("bench", path=EXAMPLE,
+                                  probe=ProbeSpec("pts", "N"), cache=False)
+        entry.run_batch(points[:2])  # warm the entry (image load, codegen)
+
+        def singletons():
+            for p in points:
+                entry.run_batch(p[None, :])
+
+        def coalesced():
+            entry.run_batch(points)
+
+        t_single = measure(singletons, repeats=REPEATS)
+        t_batch = measure(coalesced, repeats=REPEATS)
+    finally:
+        registry.clear()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    gain = t_single / t_batch if t_batch > 0 else float("inf")
+    print(f"\n\nBatch coalescing — {BATCH} probe points, best of {REPEATS}")
+    print(f"  {BATCH} singleton runs: {t_single * 1e3:8.1f}ms "
+          f"({BATCH / t_single:8.0f} pts/s)")
+    print(f"  1 coalesced batch:  {t_batch * 1e3:8.1f}ms "
+          f"({BATCH / t_batch:8.0f} pts/s)")
+    print(f"  coalescing gain: {gain:.1f}x")
+
+    # per-run fixed costs dominate singletons; coalescing must win clearly
+    assert gain > 2.0, f"coalesced batch only {gain:.2f}x faster"
+
+    _finish({"serve_batch": {
+        "batch": BATCH,
+        "singleton_s": t_single, "coalesced_s": t_batch,
+        "gain": gain,
+        "singleton_pts_per_s": BATCH / t_single,
+        "coalesced_pts_per_s": BATCH / t_batch,
+    }})
+    append_history("serve", {
+        "coalescing_gain": gain,
+        "coalesced_pts_per_s": BATCH / t_batch,
+    })

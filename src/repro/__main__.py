@@ -13,6 +13,7 @@ setting of input variables" (§3.3.1) and its runtime writes program output
                                     [--emit-python] [--stats] [--check]
                                     [--trace FILE.json] [--profile]
                                     [--no-metrics] [--metrics-out FILE.json]
+                                    [--compile-cache]
 
 Each output variable is written to ``PREFIX-<name>.nrrd`` (or ``.txt``
 with ``--text``).  ``--trace`` writes a Chrome trace-event JSON file
@@ -93,6 +94,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-fuse", action="store_true",
                     help="disable probe fusion (A/B against the fused "
                          "pipeline)")
+    ap.add_argument("--compile-cache", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="use the persistent compile cache (default: the "
+                         "REPRO_COMPILE_CACHE environment variable); a hit "
+                         "skips the optimizer/lowering/codegen passes "
+                         "entirely")
     ap.add_argument("--metrics", action=argparse.BooleanOptionalAction,
                     default=True,
                     help="collect runtime metrics (on by default; "
@@ -129,7 +136,8 @@ def _compile_and_run(args, workers, tracer, session) -> int:
     try:
         prog = compile_file(args.program, precision=args.precision, tracer=tracer,
                             check=True if args.check else None,
-                            optimize=OptOptions(probe_fusion=not args.no_fuse))
+                            optimize=OptOptions(probe_fusion=not args.no_fuse),
+                            cache=args.compile_cache)
     except (DiderotError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

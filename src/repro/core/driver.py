@@ -113,11 +113,28 @@ def _optimize(func, vocab, opts: OptOptions, tracer, ir: str, verify=None) -> No
             verify(func, ir, "contraction")
 
 
+def _resolve_cache(cache) -> bool:
+    """Map a ``cache=`` argument to a concrete on/off decision.
+
+    ``True``/``False`` are explicit; ``None`` defers to the
+    ``REPRO_COMPILE_CACHE`` environment variable (off by default — the
+    serving layer opts in explicitly, CLI users via the env var or
+    ``--compile-cache``).
+    """
+    if cache is not None:
+        return bool(cache)
+    import os
+
+    return os.environ.get("REPRO_COMPILE_CACHE", "").strip() not in ("", "0")
+
+
 def compile_to_source(
     source: str,
     optimize: OptOptions | None = None,
     tracer=None,
     check: bool | None = None,
+    cache: bool | None = None,
+    cache_extra: tuple = (),
 ) -> tuple[str, HighProgram, CompileStats]:
     """Compile Diderot source to generated Python source + metadata.
 
@@ -131,6 +148,16 @@ def compile_to_source(
     and a violation raises a :class:`~repro.errors.CompileError` naming
     the pass that broke the invariant.  Defaults to the ``REPRO_CHECK``
     environment variable.  Each check emits one ``cat="check"`` span.
+
+    ``cache`` enables the persistent compile cache
+    (:mod:`repro.serve.cache`): after the front end (parse → typecheck →
+    HighIR normalization) the normalized HighIR is fingerprinted together
+    with ``optimize`` and ``cache_extra`` (precision/backend tags from
+    :func:`compile_program`), and on a hit the optimizer passes, lowering,
+    and codegen are all skipped — the pickled entry supplies the lowered
+    program, generated source, and stats.  A hit emits one
+    ``cat="cache"`` span (and *no* optimizer-pass spans, which is how the
+    tests verify nothing re-ran).  Defaults to ``REPRO_COMPILE_CACHE``.
     """
     from repro.core.verify import check_enabled, verify_func
 
@@ -159,6 +186,17 @@ def compile_to_source(
         typed = check_program(prog)
     with tr.span("highir", cat="pass"):
         hp = HighBuilder(typed, tracer=tr).build()
+
+    cache_key = None
+    if _resolve_cache(cache):
+        from repro.serve import cache as _cc
+
+        cache_key = _cc.fingerprint(hp, opts, cache_extra)
+        entry = _cc.load(cache_key, tracer=tr)
+        if entry is not None:
+            _mx.fold_pass_spans(tr)
+            return entry.gen_source, entry.high, entry.stats
+
     funcs = HighBuilder.all_funcs(hp)
     for fn in funcs:
         tr.instant("instr-count", cat="count", func=fn.name, ir="high", value=_count(fn))
@@ -193,7 +231,12 @@ def compile_to_source(
     # scope and the session-wide GLOBAL), so `--metrics-out` documents
     # carry compile cost alongside runtime cost
     _mx.fold_pass_spans(tr)
-    return source_out, hp, CompileStats.from_trace(tr.events)
+    stats = CompileStats.from_trace(tr.events)
+    if cache_key is not None:
+        from repro.serve import cache as _cc
+
+        _cc.store(cache_key, source_out, hp, stats, tracer=tr)
+    return source_out, hp, stats
 
 
 def compile_program(
@@ -203,6 +246,7 @@ def compile_program(
     search_path: str = ".",
     tracer=None,
     check: bool | None = None,
+    cache: bool | None = None,
 ):
     """Compile Diderot source text into a runnable Program.
 
@@ -225,6 +269,13 @@ def compile_program(
     check:
         Run the IR validators at every pass boundary (``--check``);
         defaults to the ``REPRO_CHECK`` environment variable.
+    cache:
+        Use the persistent compile cache (``--compile-cache``); defaults
+        to the ``REPRO_COMPILE_CACHE`` environment variable.  Precision
+        participates in the key (the generated NumPy source is
+        precision-independent, but the lowered IR cached for the native
+        backend is specialized downstream, and a conservative key is
+        cheap).
     """
     from repro.runtime.program import Program
 
@@ -232,7 +283,8 @@ def compile_program(
         raise CompileError(f"precision must be 'single' or 'double', got {precision!r}")
     dtype = np.float32 if precision == "single" else np.float64
     gen_source, hp, stats = compile_to_source(source, optimize, tracer=tracer,
-                                              check=check)
+                                              check=check, cache=cache,
+                                              cache_extra=("precision", precision))
     namespace = load_module(gen_source)
     return Program(
         high=hp,

@@ -23,6 +23,19 @@ sequential, thread, and process schedulers (asserted by
 histogram are wall-clock measurements and are compared only with
 noise-tolerant thresholds (``python -m repro.obs diff``).
 
+Cache and serving metrics
+-------------------------
+The compile-once layers report through the same registry:
+``compile_cache.{hits,misses,evicted}`` from the persistent compile
+cache (:mod:`repro.serve.cache`), ``cgen.cache.{hits,misses,evicted,
+lock_waits}`` from the native artifact cache
+(:mod:`repro.core.codegen.cbuild`), and the front door's
+``serve.requests`` / ``serve.http.<status>`` / ``serve.shed`` counters,
+``serve.batch.{requests,batches,coalesced}`` coalescing counters, and
+``serve.batch.size`` / ``serve.request_seconds`` histograms
+(:mod:`repro.serve.server`).  Cache counters increment on :data:`ACTIVE`
+outside any run, i.e. on :data:`GLOBAL` unless a run is in flight.
+
 Cross-process protocol
 ----------------------
 Forked :class:`~repro.runtime.mpsched.ProcessScheduler` workers install
@@ -60,6 +73,10 @@ TIME_BUCKETS = tuple(
 #: bucket bounds for the per-step load-imbalance index (max/mean worker
 #: busy time; 1.0 = perfectly balanced)
 IMBALANCE_BUCKETS = (1.0, 1.05, 1.1, 1.2, 1.35, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+#: power-of-two bucket bounds for size-like observations (coalesced
+#: requests per serving batch, strands per request)
+SIZE_BUCKETS = tuple(float(1 << k) for k in range(0, 17))
 
 
 class Histogram:

@@ -10,11 +10,14 @@ paper's parallel runtime (§5.5) with *processes* instead:
   :mod:`multiprocessing.shared_memory` blocks.  The master's arrays *are*
   views over those blocks, so worker writes are immediately visible
   without any result pickling.
-* **Persistent pool** — workers are forked once per ``run()`` (not per
-  super-step).  Each worker receives a one-time setup message carrying
-  the generated module source, the image metadata + shared-memory names,
-  the resolved global values, and the state/status/active array specs; it
-  ``exec``\\ s the source and rebuilds its context locally.
+* **Persistent pool** — workers are forked once per pool (not per
+  super-step, and — for pooled schedulers held by the serving layer —
+  not even per run: ``setup()`` on a live pool re-arms the existing
+  workers with the new run's shared state).  Each worker receives a
+  setup message carrying the generated module source, the image
+  metadata + shared-memory names, the resolved global values, and the
+  state/status/active array specs; it ``exec``\\ s the source and
+  rebuilds its context locally.
 * **Work-list + barrier** — each super-step the master writes the active
   strand indices into the shared index buffer and enqueues
   ``(block_start, block_end)`` ranges on a shared task queue; workers
@@ -100,74 +103,134 @@ class _WorkerCtx:
         self.dtype = dtype
 
 
-def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
-    """Worker process: one-time setup, then the per-step task loop."""
-    shms = []
-    try:
-        from repro.image import Image
+class _WorkerEnv:
+    """One run's worker-side state: shared views + compiled functions."""
 
-        setup = pickle.loads(setup_bytes)
-        state = []
-        for spec in setup["state"]:
-            shm, view = _attach(spec)
-            shms.append(shm)
-            state.append(view)
-        shm, status = _attach(setup["status"])
-        shms.append(shm)
-        shm, active = _attach(setup["active"])
-        shms.append(shm)
-        images = {}
-        for name, (spec, dim, tshape, orient) in setup["images"].items():
-            shm, data = _attach(spec)
-            shms.append(shm)
-            # same dtype + contiguous ⇒ Image keeps the shared view, no copy
-            images[name] = Image(data, dim=dim, tensor_shape=tshape,
-                                 orientation=orient, dtype=data.dtype)
-        ns: dict = {}
-        exec(compile(setup["source"], "<diderot-generated>", "exec"), ns)
-        update = ns["update"]
-        ctx = _WorkerCtx(images, setup["dtype"])
-        g = setup["globals"]
-        # a fresh local registry (the forked copy of the master's would
-        # double-count): op metrics accumulate here and each block's
-        # ``done`` ack ships the drained delta back for the master to
-        # merge at the super-step barrier
-        reg = MetricsRegistry() if setup.get("metrics") else NULL_METRICS
-        _mx.set_active(reg)
-        # native C backend: rebuild the kernel from the artifact cache
-        # (warmed by the master's build) and bind it to the shared views;
-        # any failure degrades this worker to the NumPy path
-        native = None
-        if setup.get("native") is not None:
-            import sys as _sys
+    __slots__ = ("shms", "state", "status", "active", "update", "ctx", "g",
+                 "reg", "native", "total")
 
-            from repro.errors import CodegenError
-            from repro.runtime.native import NativeUpdate
-
+    def close(self) -> None:
+        for shm in self.shms:
             try:
-                from repro.core.codegen import cbuild
+                shm.close()
+            except Exception:
+                pass
 
-                lib, ffi = cbuild.build(setup["native"]["c_source"],
-                                        flags=setup["native"].get("flags"))
-                native = NativeUpdate(lib, ffi, setup["native"]["plan"],
-                                      images, g, state, status)
-            except CodegenError as exc:
-                print(
-                    f"warning: process worker {wid}: native backend "
-                    f"unavailable, falling back to NumPy: {exc}",
-                    file=_sys.stderr,
-                )
-                native = None
+
+def _apply_setup(wid: int, setup_bytes: bytes) -> _WorkerEnv:
+    """Attach one setup message's shared blocks and build the run env.
+
+    Used both for the initial (fork-time) setup and for *re-arming* a
+    live pool with a new run's state (see :meth:`ProcessScheduler.setup`).
+    """
+    from repro.image import Image
+
+    env = _WorkerEnv()
+    env.shms = shms = []
+    setup = pickle.loads(setup_bytes)
+    env.state = state = []
+    for spec in setup["state"]:
+        shm, view = _attach(spec)
+        shms.append(shm)
+        state.append(view)
+    shm, env.status = _attach(setup["status"])
+    shms.append(shm)
+    shm, env.active = _attach(setup["active"])
+    shms.append(shm)
+    images = {}
+    for name, (spec, dim, tshape, orient) in setup["images"].items():
+        shm, data = _attach(spec)
+        shms.append(shm)
+        # same dtype + contiguous ⇒ Image keeps the shared view, no copy
+        images[name] = Image(data, dim=dim, tensor_shape=tshape,
+                             orientation=orient, dtype=data.dtype)
+    ns: dict = {}
+    exec(compile(setup["source"], "<diderot-generated>", "exec"), ns)
+    env.update = ns["update"]
+    env.ctx = _WorkerCtx(images, setup["dtype"])
+    env.g = setup["globals"]
+    # a fresh local registry (the forked copy of the master's would
+    # double-count): op metrics accumulate here and each block's
+    # ``done`` ack ships the drained delta back for the master to
+    # merge at the super-step barrier
+    env.reg = MetricsRegistry() if setup.get("metrics") else NULL_METRICS
+    _mx.set_active(env.reg)
+    # native C backend: rebuild the kernel from the artifact cache
+    # (warmed by the master's build) and bind it to the shared views;
+    # any failure degrades this worker to the NumPy path
+    env.native = None
+    if setup.get("native") is not None:
+        import sys as _sys
+
+        from repro.errors import CodegenError
+        from repro.runtime.native import NativeUpdate
+
+        try:
+            from repro.core.codegen import cbuild
+
+            lib, ffi = cbuild.build(setup["native"]["c_source"],
+                                    flags=setup["native"].get("flags"))
+            env.native = NativeUpdate(lib, ffi, setup["native"]["plan"],
+                                      images, env.g, state, env.status)
+        except CodegenError as exc:
+            print(
+                f"warning: process worker {wid}: native backend "
+                f"unavailable, falling back to NumPy: {exc}",
+                file=_sys.stderr,
+            )
+            env.native = None
+    env.total = env.status.shape[0]
+    return env
+
+
+def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q,
+                 barrier=None) -> None:
+    """Worker process: one-time setup, then the per-step task loop.
+
+    Besides block-range tasks and the ``None`` shutdown sentinel, the
+    task queue can carry ``("setup", setup_bytes)`` messages that re-arm
+    the worker with a new run's shared state.  The queue is shared, so
+    ``barrier`` (parties = workers + master) guarantees every worker
+    consumed exactly one setup message before the master enqueues
+    anything else.
+    """
+    try:
+        env = _apply_setup(wid, setup_bytes)
         result_q.put(("ready", wid))
     except BaseException:
         result_q.put(("fatal", wid, traceback.format_exc()))
         return
-    total = status.shape[0]
+    state, status, active = env.state, env.status, env.active
+    update, ctx, g, reg, native = env.update, env.ctx, env.g, env.reg, env.native
+    total = env.total
     while True:
         idle0 = time.perf_counter()
         task = task_q.get()
         if task is None:
             break
+        if task[0] == "setup":
+            old, env = env, None
+            try:
+                env = _apply_setup(wid, task[1])
+                result_q.put(("ready", wid))
+            except BaseException:
+                result_q.put(("fatal", wid, traceback.format_exc()))
+            finally:
+                # reach the barrier even on failure, or the master (and
+                # the sibling workers) would hang in wait()
+                if barrier is not None:
+                    try:
+                        barrier.wait(timeout=60)
+                    except Exception:
+                        pass
+            if env is None:
+                old.close()
+                return
+            old.close()
+            state, status, active = env.state, env.status, env.active
+            update, ctx, g = env.update, env.ctx, env.g
+            reg, native, total = env.reg, env.native, env.total
+            continue
         step, bindex, start, end = task
         t0 = time.perf_counter()
         wait = t0 - idle0
@@ -198,11 +261,7 @@ def _worker_main(wid: int, setup_bytes: bytes, task_q, result_q) -> None:
         delta = reg.drain() if reg.enabled else None
         result_q.put(("done", wid, bindex, t0,
                       time.perf_counter() - t0, end - start, wait, delta))
-    for shm in shms:
-        try:
-            shm.close()
-        except Exception:
-            pass
+    env.close()
 
 
 class ProcessScheduler:
@@ -225,6 +284,7 @@ class ProcessScheduler:
         self._procs: list = []
         self._task_q = None
         self._result_q = None
+        self._barrier = None
         self._active = None
         self._closed = False
 
@@ -248,18 +308,26 @@ class ProcessScheduler:
         Returns ``(state_views, status_view)`` — the shared arrays the
         master must use for the rest of the run (stabilize scatters and
         output extraction read worker writes through them).
+
+        Calling ``setup()`` again on a live pool **re-arms** it: the new
+        run's state moves into fresh shared blocks and the existing
+        worker processes swap over to them (a ``("setup", ...)`` message
+        per worker, with a barrier so each consumes exactly one), so a
+        pooled scheduler serves many runs without re-forking.
         """
+        if self._closed:
+            raise RuntimeErrorD("process pool is closed")
         ctx = _context()
+        old_arrays = self._arrays
         state_sa = [_SharedArray(s) for s in state]
         status_sa = _SharedArray(status)
         active_sa = _SharedArray(np.arange(status.shape[0], dtype=np.int64))
-        self._arrays = [*state_sa, status_sa, active_sa]
-        self._active = active_sa.view
+        arrays = [*state_sa, status_sa, active_sa]
 
         image_specs = {}
         for name, img in images.items():
             sa = _SharedArray(img.data)
-            self._arrays.append(sa)
+            arrays.append(sa)
             image_specs[name] = (sa.spec(), img.dim, img.tensor_shape,
                                  img.orientation)
 
@@ -277,11 +345,18 @@ class ProcessScheduler:
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+        self._arrays = arrays
+        self._active = active_sa.view
+        if self._procs:
+            self._rearm(setup_bytes, old_arrays)
+            return [sa.view for sa in state_sa], status_sa.view
         self._task_q = ctx.SimpleQueue()
         self._result_q = ctx.Queue()
+        self._barrier = ctx.Barrier(self.workers + 1)
         self._procs = [
             ctx.Process(target=_worker_main,
-                        args=(i, setup_bytes, self._task_q, self._result_q),
+                        args=(i, setup_bytes, self._task_q, self._result_q,
+                              self._barrier),
                         name=f"diderot-worker-{i}", daemon=True)
             for i in range(self.workers)
         ]
@@ -295,6 +370,36 @@ class ProcessScheduler:
                     f"process worker {msg[1]} failed during setup:\n{msg[2]}"
                 )
         return [sa.view for sa in state_sa], status_sa.view
+
+    def _rearm(self, setup_bytes: bytes, old_arrays) -> None:
+        """Swap a live pool's workers over to a new run's shared state.
+
+        One setup message per worker; the barrier (workers + master)
+        guarantees each worker consumed exactly one before this returns,
+        so subsequent task messages can never be mistaken for a setup.
+        Old shared blocks are destroyed only after every worker has
+        detached from them.
+        """
+        for _ in self._procs:
+            self._task_q.put(("setup", setup_bytes))
+        fatal = None
+        for _ in self._procs:
+            msg = self._get_result()
+            if msg[0] == "fatal":
+                fatal = msg
+        try:
+            self._barrier.wait(timeout=60)
+        except Exception as exc:  # BrokenBarrierError
+            if fatal is None:
+                raise RuntimeErrorD(
+                    f"process pool re-arm barrier failed: {exc!r}"
+                ) from exc
+        for sa in old_arrays:
+            sa.destroy()
+        if fatal is not None:
+            raise RuntimeErrorD(
+                f"process worker {fatal[1]} failed during re-arm:\n{fatal[2]}"
+            )
 
     def close(self) -> None:
         """Retire the pool and release every shared block (idempotent)."""

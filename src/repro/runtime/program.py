@@ -236,8 +236,10 @@ class Program:
                 )
             if ty.shape == ():
                 value = self.dtype(value)
+        # inputs are re-resolved on every run; the context caches only
+        # image data, so it survives input changes (the serving layer
+        # re-points inputs per batch and must not re-read images)
         self._inputs[name] = value
-        self._ctx = None
 
     def bind_image(self, name: str, image: Image) -> None:
         """Bind an image global directly, bypassing its load(...) path."""
@@ -253,7 +255,10 @@ class Program:
                 f"got a {image.dim}-D image with tensor shape {image.tensor_shape}"
             )
         self._bound_images[name] = image
-        self._ctx = None
+        if self._ctx is not None:
+            # swap the one image in place instead of dropping the whole
+            # context — other images keep their loaded/converted arrays
+            self._ctx.images[name] = image.astype(self.dtype)
 
     # -- setup ------------------------------------------------------------------
 
@@ -386,6 +391,15 @@ class Program:
         accepts ``"auto"`` for the machine's CPU count; counts below 1
         raise :class:`~repro.errors.InputError`.
 
+        ``scheduler`` may also be a scheduler *instance* — a
+        :class:`~repro.runtime.scheduler.SequentialScheduler`,
+        :class:`~repro.runtime.scheduler.ThreadScheduler`, or
+        :class:`~repro.runtime.mpsched.ProcessScheduler` object.  The run
+        uses it but does not close it, so callers (the serving layer's
+        program registry) can keep warm worker pools across runs; a
+        reused process pool re-arms its live workers with the new run's
+        shared state instead of forking.
+
         ``tracer`` is an optional :class:`repro.obs.Tracer`: each
         super-step becomes a span carrying active/stable/died strand
         counts, with per-block child spans attributed to the worker
@@ -439,6 +453,25 @@ class Program:
         if tracer is None:
             tracer, env_trace_path = tracer_from_env()
         tr = tracer if tracer is not None else NULL_TRACER
+
+        # a scheduler *instance* (anything with run_step) is used as-is
+        # and never closed — the serving layer pools warm schedulers
+        # across requests and owns their lifecycle
+        ext_sched = None
+        if scheduler is not None and not isinstance(scheduler, str):
+            if not hasattr(scheduler, "run_step"):
+                raise InputError(
+                    f"scheduler must be a name from {SCHEDULER_CHOICES} or an "
+                    f"object with run_step(); got {type(scheduler).__name__}"
+                )
+            ext_sched = scheduler
+            if hasattr(ext_sched, "setup"):  # a (reusable) process pool
+                scheduler = "process"
+            elif isinstance(ext_sched, SequentialScheduler):
+                scheduler = "seq"
+            else:
+                scheduler = "thread"
+            workers = getattr(ext_sched, "workers", workers)
 
         workers = resolve_workers(workers)
         if scheduler is None:
@@ -518,9 +551,12 @@ class Program:
         sched = None
         native = None
         if scheduler == "process":
-            from repro.runtime.mpsched import ProcessScheduler
+            if ext_sched is not None:
+                pool = ext_sched
+            else:
+                from repro.runtime.mpsched import ProcessScheduler
 
-            pool = ProcessScheduler(workers)
+                pool = ProcessScheduler(workers)
             # the master's state arrays become views over the pool's
             # shared-memory blocks: worker writes land in place.  With the
             # C backend, workers rebuild the native kernel from the cached
@@ -542,7 +578,9 @@ class Program:
                 status, metrics=reg.enabled, native=native_setup
             )
         else:
-            if scheduler == "thread":
+            if ext_sched is not None:
+                sched = ext_sched
+            elif scheduler == "thread":
                 sched = ThreadScheduler(workers)
             else:
                 sched = SequentialScheduler()
@@ -681,10 +719,11 @@ class Program:
                 state = [np.array(s) for s in state]
                 status = np.array(status)
         finally:
-            if pool is not None:
-                pool.close()
-            elif sched is not None:
-                sched.close()
+            if ext_sched is None:
+                if pool is not None:
+                    pool.close()
+                elif sched is not None:
+                    sched.close()
 
         wall = time.perf_counter() - t0
         n_stable = int(np.sum(status == STABILIZE))

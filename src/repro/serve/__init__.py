@@ -1,0 +1,30 @@
+"""The serving layer: compile-once, run-many (ROADMAP "millions of users").
+
+Diderot's execution model is compile-once/run-many — a program is
+compiled to a kernel once, then executed over millions of strands.  This
+package extends that economy across *processes* and *requests*:
+
+* :mod:`repro.serve.cache` — a persistent compile cache keyed on the
+  normalized HighIR fingerprint, so a repeat ``compile_program`` skips
+  the optimizer/lowering/codegen pipeline entirely (the cffi artifact
+  cache in :mod:`repro.core.codegen.cbuild` sits beneath it for the
+  native backend's ``cc`` invocation).
+* :mod:`repro.serve.registry` — named warm :class:`Program` objects with
+  pooled schedulers, so serving a request never pays compile, image
+  load, or thread-pool startup cost.
+* :mod:`repro.serve.batch` + :mod:`repro.serve.server` — an asyncio
+  front door (``python -m repro.serve``) that coalesces concurrent probe
+  requests into strand batches with bounded queues and backpressure.
+"""
+
+from repro.serve.cache import CompileCacheEntry, cache_dir, fingerprint
+from repro.serve.registry import ProbeSpec, ProgramEntry, ProgramRegistry
+
+__all__ = [
+    "CompileCacheEntry",
+    "cache_dir",
+    "fingerprint",
+    "ProbeSpec",
+    "ProgramEntry",
+    "ProgramRegistry",
+]

@@ -1,0 +1,218 @@
+"""``python -m repro.serve`` — run the compile-once serving front door.
+
+Quick start (serves the bundled probe demo)::
+
+    python -m repro.serve --register demo=examples/programs/probe_serve.diderot \\
+        --probe demo=pts:N --workers 2 --scheduler thread
+
+then::
+
+    curl -s localhost:8077/healthz
+    curl -s -X POST localhost:8077/probe/demo \\
+        -d '{"points": [[15.0, 15.0, 30.0]]}'
+
+``--smoke`` runs a self-contained end-to-end check (used by CI): start
+the server on an ephemeral port, register the demo program, fire
+overlapping probe requests, and assert (a) responses are bit-identical
+to a direct in-process run, (b) requests were coalesced into shared
+batches, and (c) a tiny queue bound sheds load with 429.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+from repro.serve.registry import ProbeSpec, ProgramRegistry
+from repro.serve.server import ServeApp
+
+
+def _parse_register(specs, probes):
+    """``name=path`` pairs plus ``name=image:count[:pad]`` probe specs."""
+    probe_by_name = {}
+    for spec in probes or ():
+        name, _, rest = spec.partition("=")
+        parts = rest.split(":")
+        if len(parts) < 2:
+            raise SystemExit(
+                f"--probe {spec!r}: expected NAME=IMAGE:COUNT_INPUT[:PAD]"
+            )
+        probe_by_name[name] = ProbeSpec(
+            points_image=parts[0], count_input=parts[1],
+            pad=int(parts[2]) if len(parts) > 2 else 1,
+        )
+    out = []
+    for spec in specs or ():
+        name, sep, path = spec.partition("=")
+        if not sep or not path:
+            raise SystemExit(f"--register {spec!r}: expected NAME=PATH")
+        out.append((name, path, probe_by_name.get(name)))
+    return out
+
+
+async def _serve(args) -> int:
+    app = ServeApp(
+        ProgramRegistry(capacity=args.capacity),
+        window=args.window, max_batch=args.max_batch,
+        max_queue=args.max_queue, compile_cache=not args.no_compile_cache,
+    )
+    for name, path, probe in _parse_register(args.register, args.probe):
+        entry = await asyncio.to_thread(
+            app.registry.register, name, path=path, probe=probe,
+            precision=args.precision, scheduler=args.scheduler,
+            workers=args.workers, backend=args.backend,
+            cache=not args.no_compile_cache,
+        )
+        print(f"registered {name!r}: {entry.info()}", file=sys.stderr)
+    await app.start(args.host, args.port)
+    print(f"serving on http://{args.host}:{app.port}", file=sys.stderr)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    await stop.wait()
+    await app.close()
+    if args.metrics_out:
+        from repro.obs import metrics as _mx
+
+        _mx.write_metrics_json(_mx.GLOBAL, args.metrics_out)
+    return 0
+
+
+async def _request(port: int, method: str, path: str, doc=None) -> tuple[int, dict]:
+    """Minimal HTTP client (stdlib-only, usable inside the event loop)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(doc).encode() if doc is not None else b""
+    writer.write(
+        (f"{method} {path} HTTP/1.1\r\nHost: x\r\n"
+         f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        k, _, v = line.decode().partition(":")
+        if k.strip().lower() == "content-length":
+            length = int(v.strip())
+    payload = json.loads(await reader.readexactly(length)) if length else {}
+    writer.close()
+    return status, payload
+
+
+async def _smoke(args) -> int:
+    import numpy as np
+
+    from repro.obs import metrics as _mx
+
+    path = args.register[0].split("=", 1)[1] if args.register else \
+        "examples/programs/probe_serve.diderot"
+    app = ServeApp(ProgramRegistry(), window=0.02, max_queue=args.max_queue)
+    await app.start("127.0.0.1", 0)
+    port = app.port
+    status, _ = await _request(port, "GET", "/healthz")
+    assert status == 200, f"healthz: {status}"
+    status, doc = await _request(port, "POST", "/programs/demo", {
+        "path": path, "workers": args.workers,
+        "scheduler": args.scheduler or "thread",
+        "probe": {"points_image": "pts", "count_input": "N"},
+    })
+    assert status == 200, f"register: {status} {doc}"
+
+    rng = np.random.default_rng(7)
+    points = (rng.random((12, 3)) * 30).tolist()
+    # overlapping singleton requests: the 20ms window coalesces them
+    results = await asyncio.gather(*[
+        _request(port, "POST", "/probe/demo", {"points": [p]})
+        for p in points
+    ])
+    assert all(s == 200 for s, _ in results), [s for s, _ in results]
+
+    # oracle: direct Program.run over the same points, one batch
+    entry = app.registry.get("demo")
+    direct = entry.run_batch(np.asarray(points))
+    for (_, doc), want in zip(results, direct["out"]):
+        got = np.asarray(doc["outputs"]["out"][0])
+        assert np.array_equal(got, want), (got, want)
+
+    snap = _mx.GLOBAL.snapshot()["counters"]
+    coalesced = snap.get("serve.batch.coalesced", 0)
+    batches = snap.get("serve.batch.batches", 0)
+    assert coalesced >= 2, f"no coalescing observed: {snap}"
+    assert batches < len(points), f"every request ran alone: {snap}"
+
+    # shedding: a tiny queue bound must yield at least one 429
+    shed_app = ServeApp(ProgramRegistry(), window=0.05, max_queue=1)
+    await shed_app.start("127.0.0.1", 0)
+    status, _ = await _request(shed_app.port, "POST", "/programs/demo", {
+        "path": path, "probe": {"points_image": "pts", "count_input": "N"},
+    })
+    assert status == 200
+    flood = await asyncio.gather(*[
+        _request(shed_app.port, "POST", "/probe/demo", {"points": [p]})
+        for p in points
+    ])
+    codes = sorted({s for s, _ in flood})
+    assert 429 in codes, f"no 429 under max_queue=1: {codes}"
+    shed = _mx.GLOBAL.snapshot()["counters"].get("serve.shed", 0)
+    assert shed >= 1, "serve.shed counter did not record the 429s"
+
+    await app.close()
+    await shed_app.close()
+    print(f"serve smoke OK: {len(points)} requests in {batches} batches "
+          f"({coalesced} coalesced), shed codes {codes}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Async front door over the warm-program registry",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument("--register", action="append", metavar="NAME=PATH",
+                        help="compile and register a program at startup "
+                             "(repeatable)")
+    parser.add_argument("--probe", action="append",
+                        metavar="NAME=IMAGE:COUNT[:PAD]",
+                        help="probe spec for a registered name: the points "
+                             "image global, the strand-count input, and "
+                             "optional guard-row pad (default 1)")
+    parser.add_argument("--precision", choices=["single", "double"],
+                        default="double")
+    parser.add_argument("--scheduler", choices=["seq", "thread", "process"],
+                        default=None)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--backend", choices=["numpy", "c"], default=None)
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="registry LRU capacity (default unbounded)")
+    parser.add_argument("--window", type=float, default=0.002,
+                        help="batching window in seconds (default 2ms)")
+    parser.add_argument("--max-batch", type=int, default=65536,
+                        help="max strand rows per coalesced batch")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="max queued requests per program before "
+                             "shedding with 429")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="bypass the persistent compile cache")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the serve metrics document on shutdown")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the self-contained end-to-end smoke "
+                             "check and exit (used by CI)")
+    args = parser.parse_args(argv)
+    return asyncio.run(_smoke(args) if args.smoke else _serve(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""Warm-program registry: named compiled programs + pooled schedulers.
+
+A :class:`ProgramRegistry` holds :class:`ProgramEntry` objects — a
+compiled :class:`~repro.runtime.program.Program` plus the scheduler pool
+it runs on — under user-chosen names.  Registration compiles through the
+persistent compile cache (:mod:`repro.serve.cache`), so re-registering a
+program another worker already compiled skips the optimizer pipeline;
+requests then run on the entry's *pooled* scheduler (a warm
+``ThreadScheduler`` or re-armable ``ProcessScheduler``), so steady-state
+serving pays neither compile, image-load, nor pool-startup cost.
+
+Batching contract: a probe-style program declares (via
+:class:`ProbeSpec`) which image global carries the batch's points and
+which ``int`` input carries the strand count.  ``run_batch`` binds the
+points (plus ``pad`` replicated guard rows, so edge points stay inside
+the kernel support of the *loaded* image) and runs the program over
+exactly ``len(points)`` strands.  Strand updates are independent, so a
+coalesced batch's per-row outputs are bit-identical to running each
+request alone — asserted by ``tests/test_serve.py``.
+
+The registry is LRU-bounded (``capacity``): registering past capacity
+evicts the least-recently *used* entry (``get`` refreshes recency) and
+closes its scheduler pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InputError
+from repro.image import Image
+from repro.obs import metrics as _mx
+
+__all__ = ["ProbeSpec", "ProgramEntry", "ProgramRegistry"]
+
+
+@dataclass
+class ProbeSpec:
+    """How to feed a batch of probe positions into a program.
+
+    ``points_image`` — the 1-D image global whose rows are the batch's
+    probe positions; ``count_input`` — the ``int`` input holding the
+    strand count; ``pad`` — replicated guard rows appended after the
+    batch (a support-1 kernel like ``tent`` reads one row past the last
+    integer position, so ``pad=1`` keeps every strand's probe inbounds).
+    """
+
+    points_image: str
+    count_input: str
+    pad: int = 1
+
+
+class ProgramEntry:
+    """One registered program: compiled code + its warm scheduler pool.
+
+    ``lock`` serializes runs — a :class:`Program` binds inputs/images on
+    itself, so one entry serves one batch at a time (the front door's
+    batcher coalesces concurrency *into* those batches instead).
+    """
+
+    def __init__(self, name: str, program, *, probe: ProbeSpec | None = None,
+                 scheduler: str | None = None, workers: int = 1,
+                 backend: str | None = None):
+        self.name = name
+        self.program = program
+        self.probe = probe
+        self.scheduler = scheduler
+        self.workers = workers
+        self.backend = backend
+        self.lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self._pool = None  # lazily-built pooled scheduler instance
+        self._closed = False
+
+    # -- scheduler pooling -------------------------------------------------
+
+    def _pooled_scheduler(self):
+        """The entry's warm scheduler instance (built on first use).
+
+        Thread and process pools are kept alive across runs —
+        ``Program.run`` never closes a scheduler *instance*, and a live
+        ``ProcessScheduler`` re-arms its forked workers per run instead
+        of re-forking.  ``seq``/default runs stay instance-free.
+        """
+        if self.scheduler not in ("thread", "process") or self.workers < 2:
+            return None
+        if self._pool is None:
+            if self.scheduler == "thread":
+                from repro.runtime.scheduler import ThreadScheduler
+
+                self._pool = ThreadScheduler(self.workers)
+            else:
+                from repro.runtime.mpsched import ProcessScheduler
+
+                self._pool = ProcessScheduler(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, *, inputs: dict | None = None, tracer=None, metrics=None):
+        """One full program run on the pooled scheduler (serialized)."""
+        with self.lock:
+            if self._closed:
+                raise InputError(f"program {self.name!r} has been evicted")
+            self.requests += 1
+            for k, v in (inputs or {}).items():
+                self.program.set_input(k, v)
+            pool = self._pooled_scheduler()
+            return self.program.run(
+                workers=self.workers,
+                scheduler=pool if pool is not None else self.scheduler,
+                tracer=tracer, metrics=metrics, backend=self.backend,
+            )
+
+    def run_batch(self, points: np.ndarray, *, tracer=None, metrics=None):
+        """Run one coalesced probe batch; returns ``{output: rows}``.
+
+        ``points`` has shape ``(n, *point_shape)``; each output comes
+        back with leading dimension ``n`` (guard rows stripped).
+        """
+        if self.probe is None:
+            raise InputError(
+                f"program {self.name!r} was registered without a probe "
+                "spec; only whole-program /run requests are supported"
+            )
+        spec = self.probe
+        points = np.ascontiguousarray(points, dtype=self.program.dtype)
+        if points.ndim < 1 or points.shape[0] < 1:
+            raise InputError("probe batch must contain at least one point")
+        n = points.shape[0]
+        slot = self.program.high.images.get(spec.points_image)
+        if slot is None:
+            raise InputError(
+                f"{spec.points_image!r} is not an image global of "
+                f"{self.name!r}"
+            )
+        if spec.pad:
+            guard = np.repeat(points[-1:], spec.pad, axis=0)
+            data = np.concatenate([points, guard], axis=0)
+        else:
+            data = points
+        img = Image(data, dim=1, tensor_shape=tuple(slot.shape))
+        with self.lock:
+            if self._closed:
+                raise InputError(f"program {self.name!r} has been evicted")
+            self.requests += 1
+            self.batches += 1
+            self.program.bind_image(spec.points_image, img)
+            self.program.set_input(spec.count_input, n)
+            pool = self._pooled_scheduler()
+            result = self.program.run(
+                workers=self.workers,
+                scheduler=pool if pool is not None else self.scheduler,
+                tracer=tracer, metrics=metrics, backend=self.backend,
+            )
+        return {name: arr[:n] for name, arr in result.outputs.items()}
+
+    def info(self) -> dict:
+        return {
+            "name": self.name,
+            "inputs": self.program.input_names,
+            "outputs": self.program.output_names,
+            "scheduler": self.scheduler or "seq",
+            "workers": self.workers,
+            "backend": self.backend or "numpy",
+            "probe": None if self.probe is None else {
+                "points_image": self.probe.points_image,
+                "count_input": self.probe.count_input,
+                "pad": self.probe.pad,
+            },
+            "requests": self.requests,
+            "batches": self.batches,
+        }
+
+
+class ProgramRegistry:
+    """Named warm programs with LRU capacity (thread-safe)."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise InputError("registry capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, ProgramEntry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def register(self, name: str, source: str | None = None,
+                 path: str | None = None, *, precision: str = "double",
+                 optimize=None, search_path: str | None = None,
+                 probe: ProbeSpec | None = None,
+                 scheduler: str | None = None, workers: int = 1,
+                 backend: str | None = None, cache: bool = True,
+                 tracer=None) -> ProgramEntry:
+        """Compile (through the persistent compile cache) and register.
+
+        Exactly one of ``source`` / ``path`` must be given.  Registering
+        an existing name replaces (and closes) the old entry; exceeding
+        ``capacity`` evicts the least-recently-used entry.
+        """
+        from repro.core.driver import compile_file, compile_program
+
+        if (source is None) == (path is None):
+            raise InputError("register() needs exactly one of source=/path=")
+        if path is not None:
+            program = compile_file(path, precision=precision,
+                                   optimize=optimize, tracer=tracer,
+                                   cache=cache)
+        else:
+            program = compile_program(source, precision=precision,
+                                      optimize=optimize,
+                                      search_path=search_path or ".",
+                                      tracer=tracer, cache=cache)
+        entry = ProgramEntry(name, program, probe=probe, scheduler=scheduler,
+                             workers=workers, backend=backend)
+        with self._lock:
+            old = self._entries.pop(name, None)
+            self._entries[name] = entry
+            _mx.ACTIVE.inc("serve.registry.registered")
+            evicted = []
+            while self.capacity is not None and len(self._entries) > self.capacity:
+                _, lru = self._entries.popitem(last=False)
+                evicted.append(lru)
+                _mx.ACTIVE.inc("serve.registry.evicted")
+        if old is not None:
+            old.close()
+        for lru in evicted:
+            lru.close()
+        return entry
+
+    def get(self, name: str) -> ProgramEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(name)
+            self._entries.move_to_end(name)  # LRU recency
+            return entry
+
+    def list(self) -> list[dict]:
+        with self._lock:
+            return [e.info() for e in self._entries.values()]
+
+    def evict(self, name: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop(name, None)
+            if entry is not None:
+                _mx.ACTIVE.inc("serve.registry.evicted")
+        if entry is None:
+            return False
+        entry.close()
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for e in entries:
+            e.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries

@@ -1,0 +1,274 @@
+"""The asyncio front door: stdlib HTTP over the program registry.
+
+One ``ServeApp`` owns a :class:`~repro.serve.registry.ProgramRegistry`
+and one :class:`~repro.serve.batch.ProbeBatcher` per registered program.
+The HTTP layer is deliberately tiny (asyncio ``start_server`` + hand
+parsing, no framework, no dependencies) — requests and responses are
+JSON, one request per connection.
+
+Routes::
+
+    GET    /healthz            liveness
+    GET    /metrics            process-wide metrics document (obs layer)
+    GET    /programs           registered programs + per-entry stats
+    POST   /programs/<name>    compile (through the compile cache) + register
+    DELETE /programs/<name>    evict
+    POST   /probe/<name>       {"points": [...]} → coalesced batch run
+    POST   /run/<name>         {"inputs": {...}} → one full program run
+
+Status mapping: unknown program → 404, bad request/compile error → 400,
+queue full (:class:`~repro.serve.batch.Overloaded`) → 429 with
+``Retry-After``, oversized body → 413, anything unexpected → 500.
+
+Every request increments ``serve.requests`` and the per-status
+``serve.http.<code>`` counter and lands one ``serve.request_seconds``
+observation; per-batch coalescing metrics come from the batcher.  JSON
+float serialization uses Python's shortest-round-trip repr, so float64
+outputs survive the HTTP hop bit-exactly (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.errors import DiderotError
+from repro.obs import metrics as _mx
+from repro.serve.batch import Overloaded, ProbeBatcher
+from repro.serve.registry import ProbeSpec, ProgramRegistry
+
+__all__ = ["ServeApp"]
+
+#: refuse request bodies larger than this (64 MiB)
+MAX_BODY = 64 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeApp:
+    """The serving application: registry + per-program batchers + HTTP."""
+
+    def __init__(self, registry: ProgramRegistry | None = None, *,
+                 window: float = 0.002, max_batch: int = 65536,
+                 max_queue: int = 64, compile_cache: bool = True):
+        self.registry = registry if registry is not None else ProgramRegistry()
+        self.window = window
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.compile_cache = compile_cache
+        self._batchers: dict[str, tuple[object, ProbeBatcher]] = {}
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8077):
+        """Bind and start serving; returns the asyncio server object."""
+        self._server = await asyncio.start_server(self._handle_client,
+                                                  host, port)
+        return self._server
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for _, batcher in list(self._batchers.values()):
+            await batcher.close()
+        self._batchers.clear()
+        self.registry.clear()
+
+    def _batcher(self, entry) -> ProbeBatcher:
+        """The entry's batcher (rebuilt if the entry was re-registered)."""
+        held = self._batchers.get(entry.name)
+        if held is not None and held[0] is entry:
+            return held[1]
+        batcher = ProbeBatcher(entry, window=self.window,
+                               max_batch=self.max_batch,
+                               max_queue=self.max_queue)
+        old, self._batchers[entry.name] = held, (entry, batcher)
+        if old is not None:
+            asyncio.get_running_loop().create_task(old[1].close())
+        return batcher
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        t0 = time.perf_counter()
+        status, payload = 500, {"error": "internal error"}
+        method = path = ""
+        try:
+            method, path, body = await self._read_request(reader)
+            status, payload = await self._dispatch(method, path, body)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Overloaded as exc:
+            status, payload = 429, {"error": str(exc)}
+        except KeyError as exc:
+            status, payload = 404, {"error": f"unknown program {exc.args[0]!r}"}
+        except (DiderotError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        reg = _mx.GLOBAL
+        reg.inc("serve.requests")
+        reg.inc(f"serve.http.{status}")
+        reg.observe("serve.request_seconds", time.perf_counter() - t0)
+        await self._respond(writer, status, payload)
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _HttpError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY:
+            raise _HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(self, writer, status: int, payload) -> None:
+        try:
+            data = json.dumps(payload, default=float).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                + ("Retry-After: 1\r\n" if status == 429 else "")
+                + "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + data)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        seg = [s for s in path.split("?")[0].split("/") if s]
+        if seg == ["healthz"] and method == "GET":
+            return 200, {"ok": True, "programs": len(self.registry)}
+        if seg == ["metrics"] and method == "GET":
+            return 200, _mx.metrics_doc(_mx.GLOBAL)
+        if seg == ["programs"] and method == "GET":
+            return 200, {"programs": self.registry.list()}
+        if len(seg) == 2 and seg[0] == "programs":
+            if method == "POST":
+                return await self._register(seg[1], self._json(body))
+            if method == "DELETE":
+                found = self.registry.evict(seg[1])
+                await self._drop_batcher(seg[1])
+                if not found:
+                    raise KeyError(seg[1])
+                return 200, {"evicted": seg[1]}
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if len(seg) == 2 and seg[0] == "probe" and method == "POST":
+            return await self._probe(seg[1], self._json(body))
+        if len(seg) == 2 and seg[0] == "run" and method == "POST":
+            return await self._run(seg[1], self._json(body))
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(doc, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return doc
+
+    async def _drop_batcher(self, name: str) -> None:
+        held = self._batchers.pop(name, None)
+        if held is not None:
+            await held[1].close()
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _register(self, name: str, doc: dict):
+        probe = None
+        if doc.get("probe"):
+            p = doc["probe"]
+            probe = ProbeSpec(points_image=p["points_image"],
+                              count_input=p["count_input"],
+                              pad=int(p.get("pad", 1)))
+        kwargs = dict(
+            precision=doc.get("precision", "double"),
+            probe=probe,
+            scheduler=doc.get("scheduler"),
+            workers=int(doc.get("workers", 1)),
+            backend=doc.get("backend"),
+            cache=self.compile_cache,
+        )
+        if "source" in doc:
+            kwargs["source"] = doc["source"]
+            kwargs["search_path"] = doc.get("search_path")
+        elif "path" in doc:
+            kwargs["path"] = doc["path"]
+        else:
+            raise _HttpError(400, "register needs 'source' or 'path'")
+        # compile off the event loop: a cold compile takes real time
+        entry = await asyncio.to_thread(self.registry.register, name, **kwargs)
+        await self._drop_batcher(name)  # stale batcher from a replaced entry
+        return 200, {"registered": entry.info()}
+
+    async def _probe(self, name: str, doc: dict):
+        entry = self.registry.get(name)
+        if "points" not in doc:
+            raise _HttpError(400, "probe needs 'points'")
+        points = np.asarray(doc["points"], dtype=entry.program.dtype)
+        if points.ndim < 1 or points.shape[0] < 1:
+            raise _HttpError(400, "'points' must be a non-empty array")
+        outputs = await self._batcher(entry).submit(points)
+        return 200, {"outputs": {k: v.tolist() for k, v in outputs.items()}}
+
+    async def _run(self, name: str, doc: dict):
+        entry = self.registry.get(name)
+        inputs = doc.get("inputs", {})
+        if not isinstance(inputs, dict):
+            raise _HttpError(400, "'inputs' must be an object")
+        result = await asyncio.to_thread(entry.run, inputs=inputs)
+        return 200, {
+            "outputs": {k: v.tolist() for k, v in result.outputs.items()},
+            "steps": result.steps,
+            "strands": result.num_strands,
+            "wall_seconds": result.wall_time,
+        }
