@@ -1,0 +1,207 @@
+"""Incremental re-execution: dirty-region updates vs full re-runs.
+
+The headline workload is a 3-D grid program — ``G³`` strands, each
+probing value + gradient of a ``bspln3`` field over a ``V³`` volume for
+several super-steps.  After a cold checkpointed run (which records
+per-strand input footprints as a side effect of the gathers), a thin
+slab covering ~5% of the volume is patched through
+``Program.update_input`` and only the strands whose footprints
+intersect the dilated slab are re-executed from their seeds
+(``Program.run_update``); every other strand's converged state is
+restored from the checkpoint.
+
+The benchmark alternates between applying and reverting the slab so
+each timed update cycle re-runs the identical dirty set, and checks the
+stitched result bit-exactly against a freshly compiled cold run over
+the patched volume — the speedup is only meaningful if the answer is
+the answer a full re-run would have produced.
+
+Results go to ``benchmarks/results/incremental.json``, the repo root
+``BENCH_incremental.json``, and a ``history.jsonl`` row; ``regress.py``
+gates ``incremental.min_speedup`` (≥5x at full scale) and
+``bit_identical`` unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import SCALE, append_history, measure, record
+
+from repro.core.driver import compile_program
+from repro.image import Image
+
+REPEATS = 3
+
+#: volume side, strand-grid side, and super-steps before stabilize
+VOL = max(32, int(round(96 * min(SCALE, 2.0))))
+GRID = max(12, int(round(36 * min(SCALE, 2.0))))
+STEPS = 6
+
+#: the dirty slab: ~5% of the volume's extent along axis 0
+SLAB_LO = int(VOL * 0.42)
+SLAB_HI = SLAB_LO + max(1, int(round(VOL * 0.05))) - 1
+
+
+def _source() -> str:
+    # spread the strand grid across the volume's interior so the slab
+    # only dirties the strands whose probe footprints straddle it
+    step = (VOL - 9.0) / GRID
+    return f"""
+input int N = {GRID};
+image(3)[] img = load("vol.nrrd");
+field#2(3)[] F = img ⊛ bspln3;
+
+strand S (int i, int j, int k) {{
+   output real x = 0.0;
+   int n = 0;
+   update {{
+      vec3 p = [real(i) * {step:.6f} + 4.0,
+                real(j) * {step:.6f} + 4.0,
+                real(k) * {step:.6f} + 4.0];
+      if (inside(p, F)) {{
+         vec3 g = ∇F(p);
+         x = x + F(p) + 0.25 * g[0] + 0.125 * g[1] + 0.0625 * g[2];
+      }}
+      n += 1;
+      if (n >= {STEPS}) stabilize;
+   }}
+}}
+initially [ S(i, j, k) | i in 0 .. N-1, j in 0 .. N-1, k in 0 .. N-1 ];
+"""
+
+
+def _volume(rng) -> np.ndarray:
+    return rng.random((VOL, VOL, VOL))
+
+
+def _prog(data: np.ndarray):
+    prog = compile_program(_source())
+    prog.bind_image("img", Image(data, dim=3))
+    return prog
+
+
+def _slab(data: np.ndarray) -> np.ndarray:
+    return data[SLAB_LO:SLAB_HI + 1, :, :]
+
+
+def test_incremental_update_speedup(benchmark):
+    rng = np.random.default_rng(42)
+    base = _volume(rng)
+    patched = base.copy()
+    patched[SLAB_LO:SLAB_HI + 1, :, :] += 0.5
+    region = [[SLAB_LO, SLAB_HI], [0, VOL - 1], [0, VOL - 1]]
+
+    # cold checkpointed run: seq + numpy records footprints inline
+    prog = _prog(base)
+    cold = prog.run(max_steps=STEPS + 1, checkpoint=True)
+    total = cold.num_strands
+
+    def one_update(data):
+        prog.update_input("img", _slab(data), region=region)
+        return prog.run_update()
+
+    # warm cycle (applies the patch) + establish the dirty set
+    res = one_update(patched)
+    assert res.incremental and 0 < res.dirty_strands < total, (
+        res.dirty_strands, total)
+    dirty = res.dirty_strands
+
+    # alternate revert/apply so every timed cycle re-runs the same set
+    legs = []
+    for data in [base, patched] * REPEATS:
+        legs.append(measure(lambda d=data: one_update(d)))
+    t_update = min(legs)
+
+    # the alternative: a full cold re-run over the current (patched) image
+    t_full = measure(lambda: prog.run(max_steps=STEPS + 1), repeats=REPEATS)
+
+    # dirty-fraction sweep: how the win decays as the patch grows.
+    # Each point applies a centered slab of the given width (timed) and
+    # reverts it (untimed) so every point starts from the same state.
+    sweep = []
+    for vfrac in (0.05, 0.15, 0.4, 1.0):
+        w = max(1, int(round(VOL * vfrac)))
+        lo = max(0, (VOL - w) // 2)
+        hi = min(VOL - 1, lo + w - 1)
+        reg = [[lo, hi], [0, VOL - 1], [0, VOL - 1]]
+        sl = (slice(lo, hi + 1), slice(None), slice(None))
+        bumped = patched.copy()
+        bumped[sl] += 0.25
+
+        t0 = time.perf_counter()
+        prog.update_input("img", bumped[sl], region=reg)
+        point = prog.run_update()
+        t = time.perf_counter() - t0
+        # revert untimed so the next point starts from the same state
+        prog.update_input("img", patched[sl], region=reg)
+        prog.run_update()
+        sweep.append({
+            "volume_fraction": (hi - lo + 1) / VOL,
+            "dirty_fraction": point.dirty_fraction,
+            "update_s": t,
+            "speedup": t_full / t,
+        })
+
+    # bit-identity: the stitched update result vs a fresh cold compile
+    oracle = _prog(patched).run(max_steps=STEPS + 1)
+    upd = prog.run_update()  # no pending regions → restored snapshot
+    identical = all(
+        np.array_equal(upd.outputs[k], oracle.outputs[k])
+        for k in oracle.outputs
+    )
+
+    speedup = t_full / t_update
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    frac = dirty / total
+    vol_frac = (SLAB_HI - SLAB_LO + 1) / VOL
+    print(f"\n\nIncremental re-execution — {GRID}³ strands probing F/∇F "
+          f"over a {VOL}³ volume, {STEPS} super-steps")
+    print(f"  dirty slab: axis-0 [{SLAB_LO}, {SLAB_HI}] "
+          f"({vol_frac:.1%} of the volume) → {dirty}/{total} strands "
+          f"({frac:.1%}) re-run")
+    print(f"  full re-run: {t_full * 1e3:8.2f}ms")
+    print(f"  update:      {t_update * 1e3:8.2f}ms   {speedup:.2f}x")
+    for p in sweep:
+        print(f"  sweep: {p['volume_fraction']:5.1%} of volume dirty → "
+              f"{p['dirty_fraction']:5.1%} strands, "
+              f"{p['update_s'] * 1e3:7.2f}ms ({p['speedup']:.2f}x)")
+    print(f"  bit-identical to a cold run on the patched volume: "
+          f"{identical}")
+
+    assert identical, "incremental update diverged from the cold oracle"
+    if SCALE >= 0.9:
+        assert speedup >= 5.0
+    assert speedup >= 1.5
+
+    payload = {
+        "scale": SCALE,
+        "volume": VOL,
+        "grid": GRID,
+        "steps": STEPS,
+        "strands": total,
+        "dirty_strands": dirty,
+        "dirty_fraction": frac,
+        "volume_dirty_fraction": vol_frac,
+        "cpu_count": len(os.sched_getaffinity(0)),
+        "full_s": t_full,
+        "update_s": t_update,
+        "speedup": speedup,
+        "bit_identical": bool(identical),
+        "sweep": sweep,
+    }
+    record("incremental", payload)
+    append_history("incremental", {
+        "speedup": speedup,
+        "dirty_fraction": frac,
+        "full_s": t_full,
+        "update_s": t_update,
+        "bit_identical": bool(identical),
+    })
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "BENCH_incremental.json"), "w") as fp:
+        json.dump(payload, fp, indent=2, default=float)

@@ -24,8 +24,22 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 HISTORY_PATH = os.path.join(RESULTS_DIR, "history.jsonl")
 
 
+#: results-document schema: bumped when the stamped envelope changes
+SCHEMA_VERSION = 2
+
+
 def record(name: str, payload) -> None:
-    """Persist one benchmark's results for EXPERIMENTS.md."""
+    """Persist one benchmark's results for EXPERIMENTS.md.
+
+    Dict payloads are stamped in place with the results ``schema``
+    version, the benchmark name, and the producing commit's ``git_sha``
+    — callers that re-dump the same payload to a repo-root
+    ``BENCH_*.json`` therefore carry the stamps too.
+    """
+    if isinstance(payload, dict):
+        payload.setdefault("schema", SCHEMA_VERSION)
+        payload.setdefault("bench", name)
+        payload.setdefault("git_sha", git_sha())
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as fp:

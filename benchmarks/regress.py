@@ -24,7 +24,10 @@ Reads the headline numbers the benchmarks just wrote under
   recorded ``scale`` (smoke runs are setup-dominated), and the
   thread-scaling leg must have actually run whenever the recorded
   ``cpu_count`` allows it — a null ``thread2_speedup`` on a ≥2-core
-  machine is a lost measurement, not a skip.
+  machine is a lost measurement, not a skip;
+* ``incremental.min_speedup`` — the dirty-region update path
+  (``bench_incremental.py``) must beat a full re-run by the floor at
+  full scale, and its ``bit_identical`` flag gates at every scale.
 
 Ratio/bound checks (not absolute seconds) keep the gate portable across
 machines; cross-commit wall-clock drift is tracked separately in
@@ -154,6 +157,35 @@ def check_native(doc, bounds, failures) -> None:
                 f"sequential native execution ({t2:.2f}x)")
 
 
+def check_incremental(doc, bounds, failures) -> None:
+    # bit-identity gates at every scale: a fast wrong answer is a bug
+    ident = doc.get("bit_identical")
+    if ident is not None:
+        status = "ok  " if ident else "FAIL"
+        print(f"{status}  incremental: update bit-identical to cold run "
+              f"({ident})")
+        if not ident:
+            failures.append(
+                "incremental: dirty-region update diverged from the cold "
+                "re-run oracle")
+    floor = bounds.get("min_speedup")
+    got = doc.get("speedup")
+    if floor is None or got is None:
+        return
+    if doc.get("scale", 1.0) >= 0.9:
+        status = "ok  " if got >= floor else "FAIL"
+        print(f"{status}  incremental: 5%-dirty update speedup {got:.2f}x "
+              f"(floor {floor}x)")
+        if got < floor:
+            failures.append(
+                f"incremental: dirty-region update speedup {got:.2f}x < "
+                f"floor {floor}x over a full re-run")
+    else:
+        print(f"note  incremental: update speedup {got:.2f}x at smoke "
+              f"scale {doc.get('scale')} — floor {floor}x applies at full "
+              f"scale only")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         description="benchmark perf-regression gate")
@@ -179,6 +211,9 @@ def main(argv=None) -> int:
     doc = _load(args.results, "native", args.strict, failures)
     if doc is not None:
         check_native(doc, baseline.get("native", {}), failures)
+    doc = _load(args.results, "incremental", args.strict, failures)
+    if doc is not None:
+        check_incremental(doc, baseline.get("incremental", {}), failures)
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

@@ -41,12 +41,14 @@ def _cmd_fuzz(ns) -> int:
         fuse=not ns.no_fuse,
         backend=ns.backend,
         precision="single" if ns.single else "double",
+        incremental=ns.incremental,
     )
     print(f"fuzz: {report.n_programs} programs, schedulers "
           f"{'/'.join(report.schedulers)}"
           f"{', probe fusion off' if ns.no_fuse else ''}"
           f"{f', backend {ns.backend}' if ns.backend != 'numpy' else ''}"
-          f"{', single precision' if ns.single else ''}: "
+          f"{', single precision' if ns.single else ''}"
+          f"{', incremental replay' if ns.incremental else ''}: "
           f"{'all agree' if report.ok else f'{len(report.failures)} FAILURES'}")
     for f in report.failures:
         print(f"\nseed {f.seed}: {f.message}\nminimized reproducer:")
@@ -109,6 +111,10 @@ def main(argv=None) -> int:
     p.add_argument("--single", action="store_true",
                    help="compile the legs in single precision; the float64 "
                         "interpreter stays the oracle at relaxed tolerance")
+    p.add_argument("--incremental", action="store_true",
+                   help="replay random dirty-region patch sequences through "
+                        "checkpointed update runs against fresh-compile "
+                        "cold oracles (bit-identity contract)")
     p.add_argument("--progress", action="store_true")
     p.set_defaults(fn=_cmd_fuzz)
 

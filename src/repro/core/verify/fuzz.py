@@ -313,6 +313,63 @@ def differential_check(
     return None
 
 
+def incremental_check(
+    src: str,
+    image=None,
+    seed: int = 0,
+    n_updates: int = 4,
+    backend: str = "numpy",
+    scheduler: str = "seq",
+) -> str | None:
+    """Replay a random patch sequence; None if every update matches.
+
+    One checkpointed cold run, then ``n_updates`` random box patches
+    applied through ``Program.update_input`` + ``run_update``.  After
+    each update the stitched result must be *bit-identical* to a
+    freshly compiled cold run over the patched image with the same
+    scheduler/backend configuration (the incremental contract; see
+    DESIGN.md "Incremental execution").  Any divergence is a dependency
+    -tracking or restore bug and is reported with the update index and
+    region.
+    """
+    from repro.core.driver import compile_program
+    from repro.image import Image
+
+    if image is None:
+        image = _phantom()
+    rng = np.random.default_rng(seed)
+    data = np.array(image.data, dtype=np.float64, copy=True)
+
+    def fresh(arr):
+        prog = compile_program(src)
+        prog.bind_image("img", Image(arr.copy(), dim=2))
+        return prog
+
+    workers = 1 if scheduler == "seq" else 2
+    kw = dict(max_steps=100, scheduler=scheduler, workers=workers,
+              block_size=5, backend=backend)
+    prog = fresh(data)
+    prog.run(checkpoint=True, **kw)
+    for u in range(n_updates):
+        lo = [int(rng.integers(0, s)) for s in data.shape]
+        hi = [min(int(l + rng.integers(1, max(2, s // 3))), s - 1)
+              for l, s in zip(lo, data.shape)]
+        region = [[l, h] for l, h in zip(lo, hi)]
+        sl = tuple(slice(l, h + 1) for l, h in zip(lo, hi))
+        data[sl] += rng.normal(scale=0.5, size=data[sl].shape)
+        prog.update_input("img", data, region=region)
+        res = prog.run_update(workers=workers, block_size=5,
+                              scheduler=scheduler, backend=backend)
+        want = fresh(data).run(**kw)
+        for name in want.outputs:
+            a, b = res.outputs[name], want.outputs[name]
+            if not np.array_equal(a, b, equal_nan=True):
+                return (f"update {u} (region {region}, "
+                        f"{res.dirty_strands} dirty) not bit-identical to "
+                        f"a cold run on {name!r}: {a} vs {b}")
+    return None
+
+
 # -- shrinking ----------------------------------------------------------------
 
 
@@ -391,6 +448,7 @@ def fuzz(
     fuse: bool = True,
     backend: str = "numpy",
     precision: str = "double",
+    incremental: bool = False,
 ) -> FuzzReport:
     """Generate and differentially check ``n`` programs.
 
@@ -401,26 +459,36 @@ def fuzz(
     backend against both the interpreter and the NumPy oracle;
     ``precision="single"`` fuzzes the float32 pipeline against the
     float64 interpreter oracle at relaxed tolerance (``--single``).
+    ``incremental=True`` (``--incremental``) replaces the N-way
+    differential check with :func:`incremental_check`: each generated
+    program gets a random patch sequence replayed through the
+    dirty-region update path against fresh-compile cold oracles, under
+    ``schedulers[0]`` and ``backend``.
     """
     image = _phantom()
     report = FuzzReport(n_programs=n, schedulers=tuple(schedulers))
+
+    def check(program_src: str, sample_seed: int) -> str | None:
+        if incremental:
+            return incremental_check(program_src, image, seed=sample_seed,
+                                     backend=backend,
+                                     scheduler=schedulers[0])
+        return differential_check(program_src, image, schedulers, fuse,
+                                  backend, precision)
+
     for k in range(n):
         s = seed + k
         if progress is not None:
             progress(k, s)
         tree = ProgramGen(s).program_tree()
         src = render_program(tree)
-        msg = differential_check(src, image, schedulers, fuse, backend,
-                                 precision)
+        msg = check(src, s)
         if msg is None:
             continue
 
         def still_fails(cand) -> bool:
             try:
-                return differential_check(
-                    render_program(cand), image, schedulers, fuse, backend,
-                    precision,
-                ) is not None
+                return check(render_program(cand), s) is not None
             except DiderotError:
                 return False  # the reduction broke compilation; skip it
 

@@ -87,6 +87,73 @@ class Image:
             self.data, self.dim, self.tensor_shape, self.orientation, dtype=dtype
         )
 
+    def patch(self, data, region=None) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Overwrite samples in place; returns the changed index regions.
+
+        Parameters
+        ----------
+        data:
+            Either a full-size replacement array (``region is None`` diffs it
+            against the current samples and patches the changed bounding box)
+            or the sub-array for an explicit ``region``.
+        region:
+            ``None``, one region, or a list of regions.  A region is a
+            sequence of ``dim`` inclusive ``(lo, hi)`` index pairs.  With a
+            list of regions, ``data`` must be the full-size array the
+            sub-blocks are sliced from.
+
+        Returns the list of patched regions as ``(lo, hi)`` int arrays
+        (inclusive on both ends), empty if nothing changed.
+        """
+        data = np.asarray(data)
+        sizes = self.sizes
+        if region is None:
+            if data.shape != self.data.shape:
+                raise ValueError(
+                    f"patch without region needs full shape {self.data.shape}, "
+                    f"got {data.shape}"
+                )
+            new = data.astype(self.data.dtype, copy=False)
+            diff = new != self.data
+            if self.tensor_order:
+                diff = diff.any(axis=tuple(range(self.dim, diff.ndim)))
+            if not diff.any():
+                return []
+            idx = np.nonzero(diff)
+            lo = np.array([int(ax.min()) for ax in idx])
+            hi = np.array([int(ax.max()) for ax in idx])
+            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+            self.data[sl] = new[sl]
+            self._bounds_cache.clear()
+            return [(lo, hi)]
+        regions = region
+        if regions and np.isscalar(regions[0][0]):
+            regions = [regions]
+        full = data.shape == self.data.shape
+        out = []
+        for reg in regions:
+            if len(reg) != self.dim:
+                raise ValueError(
+                    f"region needs {self.dim} (lo, hi) pairs, got {len(reg)}"
+                )
+            lo = np.array([int(p[0]) for p in reg])
+            hi = np.array([int(p[1]) for p in reg])
+            if (lo < 0).any() or (hi >= np.asarray(sizes)).any() or (hi < lo).any():
+                raise ValueError(f"region {reg} outside image sizes {sizes}")
+            sl = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+            block = data[sl] if full else data
+            want = tuple(hi - lo + 1) + self.tensor_shape
+            if block.shape != want:
+                raise ValueError(
+                    f"patch data shape {block.shape} does not match region "
+                    f"shape {want}"
+                )
+            self.data[sl] = block.astype(self.data.dtype, copy=False)
+            out.append((lo, hi))
+        if out:
+            self._bounds_cache.clear()
+        return out
+
     def index_bounds(self, support: int) -> tuple[np.ndarray, np.ndarray]:
         """Valid floor-index range ``[lo, hi]`` for a kernel of given support.
 

@@ -1,0 +1,347 @@
+"""Incremental re-execution: footprints, snapshots, dirty-region queries.
+
+The Diderot strand model recomputes every strand on every run even when
+only a sliver of an input image changed.  Strands are independent (no
+inter-strand communication), so a strand whose *input-image footprint* —
+the set of sample indices its probes can read across all super-steps —
+does not intersect a patched region must converge to bit-identical
+state.  This module supplies the machinery ``Program.update_input`` /
+``Program.run_update`` build on:
+
+``FootprintRecorder``
+    Installed on :mod:`repro.runtime.ops` around a (sequential) run, it
+    observes every ``gather`` and accumulates, per strand and per image,
+    the axis-aligned bounding box of sample indices read.  The scheduler
+    tells the recorder which strand rows the current lanes belong to via
+    the ``lane_map`` attribute.
+
+``Footprints``
+    The queryable product: dilated per-strand AABBs plus a lazy spatial
+    index over index-space blocks (``_BlockIndex``) so a dirty region
+    maps to candidate strands in roughly O(region) instead of
+    O(strands).  Boxes are dilated by one extra sample per axis so the
+    native backend's 1e-12 contract (and single precision's 1e-5) can't
+    flip a floor-boundary read across the dirty test.
+
+``Snapshot``
+    A checkpoint of converged strand state: private copies of the state
+    arrays and status vector, plus the grid metadata needed to restore.
+
+``StepEvent``
+    The payload handed to the per-super-step streaming callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FootprintRecorder",
+    "Footprints",
+    "Snapshot",
+    "StepEvent",
+]
+
+# sentinel half-range for unrecorded boxes; also the clip bound applied to
+# incoming gather indices (predicated-off lanes may carry garbage like
+# trunc(inf) that would overflow the int64 min/max accumulation)
+_BIG = np.int64(1) << 40
+
+#: below this many strands a vectorized full scan beats the block index
+INDEX_MIN_STRANDS = 16384
+
+
+class FootprintRecorder:
+    """Accumulates per-strand, per-image gather AABBs during a run.
+
+    Not thread-safe by design: recording runs use the sequential
+    scheduler (the shadow run is cheap relative to what it saves).
+    """
+
+    def __init__(self, image_names: dict[int, str], total: int = 0):
+        # id(ctx image object) -> input name; gather only sees the Image
+        self._names = image_names
+        self.total = int(total)
+        # name -> (lo, hi) int64 arrays of shape (total, dim)
+        self.boxes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # name -> (lo, hi) global fallback box for gathers outside lane
+        # tracking (constant-position probes, unmapped lanes)
+        self.global_boxes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        #: strand rows the currently-running lanes map to (set by the
+        #: runtime around seed/init, per block, and around stabilize)
+        self.lane_map: np.ndarray | None = None
+        #: rows whose boxes changed since the last ``drain_touched``
+        self._touched: set[int] | None = None
+        self.generation = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def resize(self, total: int) -> None:
+        """Late-size the per-strand tables (grid dims resolve mid-run)."""
+        if total == self.total:
+            return
+        self.total = int(total)
+        for name, (lo, _hi) in list(self.boxes.items()):
+            self.boxes[name] = self._fresh(lo.shape[1])
+
+    def _fresh(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        lo = np.full((self.total, dim), _BIG, dtype=np.int64)
+        hi = np.full((self.total, dim), -_BIG, dtype=np.int64)
+        return lo, hi
+
+    def reset_rows(self, ids: np.ndarray) -> None:
+        """Forget the boxes for ``ids`` (about to be re-traced)."""
+        for lo, hi in self.boxes.values():
+            lo[ids] = _BIG
+            hi[ids] = -_BIG
+        self.generation += 1
+        if self._touched is not None:
+            self._touched.update(int(i) for i in np.asarray(ids).ravel())
+
+    def track_touched(self) -> None:
+        self._touched = set()
+
+    def drain_touched(self) -> np.ndarray:
+        out = np.fromiter(self._touched or (), dtype=np.int64)
+        self._touched = set()
+        return out
+
+    # -- the ops.gather hook ----------------------------------------------
+
+    def on_gather(self, image, n: np.ndarray, support: int) -> None:
+        name = self._names.get(id(image))
+        if name is None:
+            return
+        n = np.clip(np.asarray(n, dtype=np.int64), -_BIG, _BIG)
+        # a gather at integer part n reads samples n+(1-s) .. n+s per
+        # axis, with out-of-range indices clamped to the nearest valid
+        # sample (fields.probe.gather_neighborhood) — the recorded box
+        # must describe the samples actually read
+        sizes = np.asarray(image.sizes, dtype=np.int64)
+        lo = np.clip(n + (1 - support), 0, sizes - 1)
+        hi = np.clip(n + support, 0, sizes - 1)
+        lanes = self.lane_map
+        if (
+            lanes is not None
+            and n.ndim == 2
+            and n.shape[0] == lanes.shape[0]
+            and self.total
+        ):
+            dim = n.shape[1]
+            got = self.boxes.get(name)
+            if got is None or got[0].shape[1] != dim:
+                got = self.boxes[name] = self._fresh(dim)
+            blo, bhi = got
+            # rows are unique within a block, so fancy-index min/max is safe
+            blo[lanes] = np.minimum(blo[lanes], lo)
+            bhi[lanes] = np.maximum(bhi[lanes], hi)
+            if self._touched is not None:
+                self._touched.update(int(i) for i in lanes.ravel())
+            return
+        if n.ndim == 1:
+            lo = lo[None, :]
+            hi = hi[None, :]
+        glo = lo.min(axis=0)
+        ghi = hi.max(axis=0)
+        got = self.global_boxes.get(name)
+        if got is None:
+            self.global_boxes[name] = (glo, ghi)
+        else:
+            self.global_boxes[name] = (
+                np.minimum(got[0], glo), np.maximum(got[1], ghi)
+            )
+
+
+class _BlockIndex:
+    """CSR spatial index: index-space blocks -> strand rows overlapping.
+
+    Built once over a snapshot of boxes; rows whose boxes changed since
+    are kept in an ``overlay`` mask and scanned exactly on every query,
+    so the index never returns stale hits (a delta-overlay pattern: the
+    index narrows, the exact AABB test decides).
+    """
+
+    BLOCK = 8
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, sizes: np.ndarray):
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.nblocks = (self.sizes + self.BLOCK - 1) // self.BLOCK
+        valid = (hi >= lo).all(axis=1)
+        rows = np.nonzero(valid)[0]
+        blo = np.clip(lo[rows] // self.BLOCK, 0, self.nblocks - 1)
+        bhi = np.clip(hi[rows] // self.BLOCK, 0, self.nblocks - 1)
+        spans = bhi - blo + 1
+        counts = spans.prod(axis=1)
+        total_cells = int(counts.sum())
+        cell_ids = np.empty(total_cells, dtype=np.int64)
+        cell_rows = np.repeat(rows, counts)
+        # vectorized mixed-radix expansion of each row's block range
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        local = np.arange(total_cells, dtype=np.int64) - np.repeat(
+            offsets, counts
+        )
+        dim = lo.shape[1]
+        rep_blo = np.repeat(blo, counts, axis=0)
+        rep_spans = np.repeat(spans, counts, axis=0)
+        coord = np.empty((total_cells, dim), dtype=np.int64)
+        rem = local
+        for k in range(dim - 1, -1, -1):
+            coord[:, k] = rem % rep_spans[:, k] + rep_blo[:, k]
+            rem = rem // rep_spans[:, k]
+        # flatten block coords to scalar cell ids (row-major)
+        cell_ids = coord[:, 0]
+        for k in range(1, dim):
+            cell_ids = cell_ids * self.nblocks[k] + coord[:, k]
+        order = np.argsort(cell_ids, kind="stable")
+        self._cells = cell_ids[order]
+        self._rows = cell_rows[order]
+
+    def candidates(self, rlo: np.ndarray, rhi: np.ndarray) -> np.ndarray:
+        """Strand rows whose boxes may intersect region ``[rlo, rhi]``."""
+        blo = np.clip(np.asarray(rlo) // self.BLOCK, 0, self.nblocks - 1)
+        bhi = np.clip(np.asarray(rhi) // self.BLOCK, 0, self.nblocks - 1)
+        spans = (bhi - blo + 1).astype(np.int64)
+        ncell = int(spans.prod())
+        dim = len(self.nblocks)
+        ids = np.zeros(ncell, dtype=np.int64)
+        rem = np.arange(ncell, dtype=np.int64)
+        coords = []
+        for k in range(dim - 1, -1, -1):
+            coords.insert(0, rem % spans[k] + blo[k])
+            rem = rem // spans[k]
+        ids = coords[0]
+        for k in range(1, dim):
+            ids = ids * self.nblocks[k] + coords[k]
+        starts = np.searchsorted(self._cells, ids, side="left")
+        ends = np.searchsorted(self._cells, ids, side="right")
+        picks = [self._rows[a:b] for a, b in zip(starts, ends) if b > a]
+        if not picks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(picks))
+
+
+class Footprints:
+    """Queryable dilated footprints over one recorder's boxes.
+
+    The block index is a snapshot; rows re-traced after it was built go
+    into a per-image ``overlay`` mask and are always tested exactly
+    against the recorder's *live* boxes, so queries never see stale
+    geometry.  When the overlay outgrows a quarter of the strands the
+    index is rebuilt on the next query.
+    """
+
+    def __init__(self, recorder: FootprintRecorder, sizes_by_image: dict,
+                 dilate: int = 1):
+        self.recorder = recorder
+        self.sizes_by_image = {
+            k: np.asarray(v, dtype=np.int64) for k, v in sizes_by_image.items()
+        }
+        self.dilate = int(dilate)
+        # name -> [index, overlay_mask, stale]
+        self._index: dict[str, list] = {}
+        recorder.track_touched()
+
+    def note_refreshed(self) -> None:
+        """Fold rows re-traced since the last query into the overlays."""
+        touched = self.recorder.drain_touched()
+        if touched.size == 0:
+            return
+        for entry in self._index.values():
+            entry[1][touched] = True
+            if int(entry[1].sum()) * 4 > max(self.recorder.total, 1):
+                entry[2] = True
+
+    def _candidates(self, name, lo, hi, rlo, rhi):
+        """Index-narrowed candidate rows, or ``None`` for a full scan."""
+        total = self.recorder.total
+        if total < INDEX_MIN_STRANDS:
+            return None
+        entry = self._index.get(name)
+        if entry is None or entry[2] or entry[1].shape[0] != total:
+            index = _BlockIndex(lo - self.dilate, hi + self.dilate,
+                                self.sizes_by_image[name])
+            entry = self._index[name] = [
+                index, np.zeros(total, dtype=bool), False
+            ]
+        cand = entry[0].candidates(rlo, rhi)
+        overlay_rows = np.nonzero(entry[1])[0]
+        if overlay_rows.size:
+            cand = np.union1d(cand, overlay_rows)
+        return cand
+
+    def dirty_strands(self, name: str, regions) -> np.ndarray | None:
+        """Strand rows whose footprint on ``name`` hits any region.
+
+        Returns ``None`` when the hit can't be attributed to specific
+        strands (an untracked global box — e.g. a constant-position
+        probe — intersects a region): the caller must treat every
+        strand as dirty.
+        """
+        self.note_refreshed()
+        d = self.dilate
+        glob = self.recorder.global_boxes.get(name)
+        if glob is not None:
+            for rlo, rhi in regions:
+                rlo = np.asarray(rlo, dtype=np.int64)
+                rhi = np.asarray(rhi, dtype=np.int64)
+                if ((glob[0] - d <= rhi) & (glob[1] + d >= rlo)).all():
+                    return None
+        got = self.recorder.boxes.get(name)
+        if got is None:
+            return np.empty(0, dtype=np.int64)
+        lo, hi = got
+        hits = []
+        for rlo, rhi in regions:
+            rlo = np.asarray(rlo, dtype=np.int64)
+            rhi = np.asarray(rhi, dtype=np.int64)
+            cand = self._candidates(name, lo, hi, rlo, rhi)
+            if cand is None:
+                hit = np.nonzero(
+                    ((lo - d <= rhi) & (hi + d >= rlo)).all(axis=1)
+                )[0]
+            else:
+                ok = ((lo[cand] - d <= rhi) & (hi[cand] + d >= rlo)).all(axis=1)
+                hit = cand[ok]
+            hits.append(hit)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))
+
+
+@dataclass
+class Snapshot:
+    """Converged strand state checkpointed for incremental restarts."""
+
+    state: list[np.ndarray]
+    status: np.ndarray
+    sizes: np.ndarray
+    los: np.ndarray
+    total: int
+    steps: int
+    max_steps: int | None
+    backend: str
+    grid: bool
+    grid_dims: tuple[int, ...] | None
+
+    def copies(self) -> tuple[list[np.ndarray], np.ndarray]:
+        return [s.copy() for s in self.state], self.status.copy()
+
+
+@dataclass
+class StepEvent:
+    """One super-step's changes, handed to the streaming callback."""
+
+    step: int
+    #: global strand ids that ran this step
+    active: np.ndarray
+    #: their post-step status codes (aligned with ``active``)
+    status: np.ndarray
+    #: output name -> rows aligned with ``active`` (private copies)
+    outputs: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def stabilized(self) -> np.ndarray:
+        """Global ids of strands that stabilized during this step."""
+        return self.active[self.status == 1]

@@ -281,6 +281,10 @@ class ProcessScheduler:
         self.workers = workers
         self.last_block_workers: list[int] = []
         self._arrays: list[_SharedArray] = []
+        #: image payload blocks persist across re-arms: a pooled scheduler
+        #: serving many runs of one program re-uses the blocks (refreshing
+        #: the samples in place) instead of re-allocating shared memory
+        self._image_arrays: dict[str, _SharedArray] = {}
         self._procs: list = []
         self._task_q = None
         self._result_q = None
@@ -325,11 +329,24 @@ class ProcessScheduler:
         arrays = [*state_sa, status_sa, active_sa]
 
         image_specs = {}
+        stale_images: list[_SharedArray] = []
         for name, img in images.items():
-            sa = _SharedArray(img.data)
-            arrays.append(sa)
+            sa = self._image_arrays.get(name)
+            if (sa is not None and sa.view.shape == img.data.shape
+                    and sa.view.dtype == img.data.dtype):
+                # reuse the existing block, refreshing the payload in
+                # place (dirty-region patches mutate the master's data)
+                np.copyto(sa.view, img.data)
+                _mx.GLOBAL.inc("sched.shm.image_reuse")
+            else:
+                if sa is not None:
+                    stale_images.append(sa)
+                sa = self._image_arrays[name] = _SharedArray(img.data)
             image_specs[name] = (sa.spec(), img.dim, img.tensor_shape,
                                  img.orientation)
+        for name in list(self._image_arrays):
+            if name not in images:
+                stale_images.append(self._image_arrays.pop(name))
 
         setup_bytes = pickle.dumps(
             {
@@ -348,8 +365,10 @@ class ProcessScheduler:
         self._arrays = arrays
         self._active = active_sa.view
         if self._procs:
-            self._rearm(setup_bytes, old_arrays)
+            self._rearm(setup_bytes, old_arrays + stale_images)
             return [sa.view for sa in state_sa], status_sa.view
+        for sa in stale_images:  # pragma: no cover - no pool yet
+            sa.destroy()
         self._task_q = ctx.SimpleQueue()
         self._result_q = ctx.Queue()
         self._barrier = ctx.Barrier(self.workers + 1)
@@ -426,7 +445,10 @@ class ProcessScheduler:
                     pass
         for sa in self._arrays:
             sa.destroy()
+        for sa in self._image_arrays.values():
+            sa.destroy()
         self._arrays = []
+        self._image_arrays = {}
         self._procs = []
 
     # -- execution ---------------------------------------------------------

@@ -26,6 +26,8 @@ from repro.image import Image
 from repro.nrrd import read_nrrd
 from repro.obs import NULL_TRACER, tracer_from_env, write_chrome_trace
 from repro.obs import metrics as _mx
+from repro.runtime import incremental as _increc
+from repro.runtime import ops as _ops
 from repro.runtime.native import BACKEND_NAMES, NativeUpdate
 from repro.runtime.scheduler import (
     SCHEDULER_CHOICES,
@@ -62,6 +64,15 @@ class RunResult:
     #: scheduler health, per-step series); a ``NullRegistry`` when the
     #: run was executed with ``metrics=False``
     metrics: object = None
+    #: True when this result came from an incremental update run
+    #: (:meth:`Program.run_update`) rather than a cold run
+    incremental: bool = False
+    #: strands re-executed by an update run (== num_strands on cold runs)
+    dirty_strands: int = 0
+    #: dirty_strands / num_strands for update runs, 1.0 for cold runs
+    dirty_fraction: float = 1.0
+    #: global strand indices re-executed by an update run, or None
+    updated_indices: object = None
 
     def save(self, prefix: str) -> list[str]:
         """Write every output to ``<prefix>-<name>.nrrd`` (paper §5.5).
@@ -184,6 +195,23 @@ def _record_step_metrics(reg, step, n_blocks, active, stable, died,
             stable=stable, died=died, seconds=step_dt)
 
 
+class _IncState:
+    """Everything the incremental-update machinery keeps between runs."""
+
+    def __init__(self):
+        self.snapshot: _increc.Snapshot | None = None
+        self.recorder: _increc.FootprintRecorder | None = None
+        self.footprints: _increc.Footprints | None = None
+        #: strand ids whose checkpointed state is invalidated by pending
+        #: ``update_input`` calls (consumed by the next ``run_update``)
+        self.pending_ids = np.empty(0, dtype=np.int64)
+        #: a pending change couldn't be localized: next update is a full run
+        self.pending_full = False
+        #: rows whose footprints are stale (re-run without recording);
+        #: refreshed by a subset shadow run before the next intersect
+        self.stale_ids = np.empty(0, dtype=np.int64)
+
+
 class Program:
     """A compiled Diderot program, ready to accept inputs and run."""
 
@@ -202,6 +230,8 @@ class Program:
         #: "failed" = tried and unavailable, else (c_source, plan, lib, ffi)
         self._native_art = None
         self._native_error: str | None = None
+        #: checkpoint + footprints for incremental re-execution, or None
+        self._inc: _IncState | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -213,7 +243,7 @@ class Program:
     def output_names(self) -> list[str]:
         return list(self.high.outputs)
 
-    def set_input(self, name: str, value) -> None:
+    def set_input(self, name: str, value, _invalidate: bool = True) -> None:
         """Set an ``input`` global (overriding any default)."""
         if name not in self.high.input_names:
             raise InputError(
@@ -239,6 +269,11 @@ class Program:
         # inputs are re-resolved on every run; the context caches only
         # image data, so it survives input changes (the serving layer
         # re-points inputs per batch and must not re-read images)
+        if _invalidate and self._inc is not None and name in self._inputs:
+            if not np.array_equal(self._inputs[name], value):
+                self._inc = None
+        elif _invalidate and self._inc is not None:
+            self._inc = None
         self._inputs[name] = value
 
     def bind_image(self, name: str, image: Image) -> None:
@@ -254,6 +289,8 @@ class Program:
                 f"image {name!r} expects image({slot.dim}){list(slot.shape)}, "
                 f"got a {image.dim}-D image with tensor shape {image.tensor_shape}"
             )
+        if self._inc is not None and self._bound_images.get(name) is not image:
+            self._inc = None  # a rebind invalidates the checkpoint
         self._bound_images[name] = image
         if self._ctx is not None:
             # swap the one image in place instead of dropping the whole
@@ -378,6 +415,8 @@ class Program:
         scheduler: str | None = None,
         metrics=None,
         backend: str | None = None,
+        checkpoint: bool = False,
+        on_step=None,
     ) -> RunResult:
         """Execute the program to completion.
 
@@ -430,12 +469,32 @@ class Program:
         compiler or cffi is available, or the program uses a construct
         the emitter does not support, ``"c"`` degrades to NumPy with a
         stderr warning, never a crash.
+
+        ``checkpoint=True`` snapshots the converged strand state (and,
+        under the sequential NumPy configuration, records per-strand
+        input-image footprints inline) so later
+        :meth:`update_input`/:meth:`run_update` calls can re-execute
+        only the strands a dirty image region invalidates — see
+        DESIGN.md "Incremental execution".
+
+        ``on_step`` is an optional callable fired after every
+        super-step with a :class:`repro.runtime.incremental.StepEvent`
+        carrying the strand ids that ran, their status codes, and
+        private copies of their output rows — the streaming hook the
+        serving layer's chunked ``/run`` responses are built on.
         """
+        return self._metered(metrics, workers, block_size, max_steps,
+                             tracer, scheduler, backend,
+                             checkpoint=checkpoint, on_step=on_step)
+
+    def _metered(self, metrics, workers, block_size, max_steps, tracer,
+                 scheduler, backend, **kwargs) -> RunResult:
+        """Run ``_run`` under a resolved metrics registry (fold on exit)."""
         reg, fold = _mx.resolve(metrics)
         prev = _mx.set_active(reg)
         try:
             result = self._run(workers, block_size, max_steps, tracer,
-                               scheduler, reg, backend)
+                               scheduler, reg, backend, **kwargs)
         finally:
             _mx.set_active(prev)
             if reg.enabled and fold:
@@ -448,7 +507,8 @@ class Program:
         return result
 
     def _run(self, workers, block_size, max_steps, tracer, scheduler,
-             reg, backend=None) -> RunResult:
+             reg, backend=None, checkpoint=False, on_step=None,
+             _restore=None, _record=None) -> RunResult:
         env_trace_path = None
         if tracer is None:
             tracer, env_trace_path = tracer_from_env()
@@ -493,7 +553,24 @@ class Program:
             if native_art is None:
                 backend = "numpy"  # warned in _native_artifacts
 
+        # footprint recording piggybacks on the run itself when the
+        # configuration allows it (sequential NumPy: gathers happen
+        # in-process, one block at a time); otherwise footprints are
+        # built later by a dedicated shadow run (build_footprints)
+        rec = _record
+        if rec is None and checkpoint and scheduler == "seq" \
+                and backend == "numpy":
+            if _restore is not None:
+                inc = self._inc
+                rec = inc.recorder if inc is not None else None
+            else:
+                rec = _increc.FootprintRecorder({})
+
         ctx = self._context()
+        if rec is not None:
+            rec._names.update({id(img): nm for nm, img in ctx.images.items()})
+            rec.lane_map = None  # global gathers until strands exist
+            _ops.set_footprint_recorder(rec)
         g = self._globals_tuple(ctx)
         ns = self.namespace
 
@@ -516,34 +593,85 @@ class Program:
             total *= s
         if scheduler == "auto":
             scheduler = resolve_auto(workers, total, block_size, backend)
-        idx = np.arange(total, dtype=np.int64)
-        iter_vals = []
-        rem = idx
-        for k in range(len(sizes) - 1, -1, -1):
-            iter_vals.insert(0, rem % sizes[k] + los[k])
-            rem = rem // sizes[k]
-
-        params = ns["seed"](ctx, *g, *iter_vals)
-        state = list(ns["init"](ctx, *g, *params))
+        if rec is not None:
+            rec.resize(total)
         state_names = self.high.init_func.result_names
-        # Initializers that fold to constants come back unbatched; give
-        # every state variable its (strands, *tensor_shape) storage.  Two
-        # state variables initialized from the same SSA value come back as
-        # the same array object — each needs its own storage, since state
-        # is updated in place per block.
-        seen: set[int] = set()
-        for i, (name, arr) in enumerate(zip(state_names, state)):
-            arr = np.asarray(arr)
-            order = self._state_tensor_order(name)
-            if arr.ndim == order:
-                arr = np.broadcast_to(arr, (total,) + arr.shape)
-            arr = np.ascontiguousarray(arr)
-            if not arr.flags.writeable or id(arr) in seen:
-                arr = arr.copy()
-            seen.add(id(arr))
-            state[i] = arr
+        restore_dirty = None
+        if _restore is None:
+            idx = np.arange(total, dtype=np.int64)
+            iter_vals = []
+            rem = idx
+            for k in range(len(sizes) - 1, -1, -1):
+                iter_vals.insert(0, rem % sizes[k] + los[k])
+                rem = rem // sizes[k]
 
-        status = np.zeros(total, dtype=np.int64)  # RUNNING
+            if rec is not None:
+                rec.lane_map = idx
+            params = ns["seed"](ctx, *g, *iter_vals)
+            state = list(ns["init"](ctx, *g, *params))
+            if rec is not None:
+                rec.lane_map = None
+            # Initializers that fold to constants come back unbatched; give
+            # every state variable its (strands, *tensor_shape) storage.  Two
+            # state variables initialized from the same SSA value come back as
+            # the same array object — each needs its own storage, since state
+            # is updated in place per block.
+            seen: set[int] = set()
+            for i, (name, arr) in enumerate(zip(state_names, state)):
+                arr = np.asarray(arr)
+                order = self._state_tensor_order(name)
+                if arr.ndim == order:
+                    arr = np.broadcast_to(arr, (total,) + arr.shape)
+                arr = np.ascontiguousarray(arr)
+                if not arr.flags.writeable or id(arr) in seen:
+                    arr = arr.copy()
+                seen.add(id(arr))
+                state[i] = arr
+
+            status = np.zeros(total, dtype=np.int64)  # RUNNING
+        else:
+            # incremental restore: clean strands come back from the
+            # checkpoint; dirty strands are re-seeded and re-initialized
+            # exactly as a cold run would (init may probe the image, so
+            # restoring a stale init is not an option)
+            snap = _restore["snapshot"]
+            if snap.total != total:
+                raise RuntimeErrorD(
+                    f"checkpoint has {snap.total} strands but the current "
+                    f"globals produce {total}; run a fresh checkpoint"
+                )
+            restore_t0 = time.perf_counter()
+            state, status = snap.copies()
+            restore_dirty = np.asarray(_restore["dirty"], dtype=np.int64)
+            if rec is not None:
+                rec.reset_rows(restore_dirty)
+            if restore_dirty.size:
+                iter_vals = []
+                rem = restore_dirty
+                for k in range(len(sizes) - 1, -1, -1):
+                    iter_vals.insert(0, rem % sizes[k] + los[k])
+                    rem = rem // sizes[k]
+                if rec is not None:
+                    rec.lane_map = restore_dirty
+                params = ns["seed"](ctx, *g, *iter_vals)
+                new_state = ns["init"](ctx, *g, *params)
+                if rec is not None:
+                    rec.lane_map = None
+                for s_arr, new in zip(state, new_state):
+                    new = np.asarray(new)
+                    if new.dtype != s_arr.dtype:
+                        new = new.astype(s_arr.dtype)
+                    # unbatched (constant-folded) results broadcast over
+                    # the dirty rows, matching the cold materialization
+                    s_arr[restore_dirty] = new
+                status[restore_dirty] = RUNNING
+            restore_dt = time.perf_counter() - restore_t0
+            if tr.enabled:
+                tr.complete("snapshot-restore", "incremental", restore_t0,
+                            restore_dt, dirty=int(restore_dirty.size),
+                            total=total)
+            if reg.enabled:
+                reg.observe("runtime.restore_seconds", restore_dt)
         update = ns["update"]
         stabilize_fn = ns.get("stabilize")
 
@@ -609,7 +737,10 @@ class Program:
             reg.gauge("run.block_size", block_size)
 
         steps = 0
-        active_idx = np.arange(total, dtype=np.int64)
+        if restore_dirty is not None:
+            active_idx = restore_dirty
+        else:
+            active_idx = np.arange(total, dtype=np.int64)
         obs_on = tr.enabled or reg.enabled
         try:
             while active_idx.size:
@@ -647,6 +778,8 @@ class Program:
                     full_block = n_blocks == 1 and blocks[0].size == total
 
                     def run_block(block_idx: np.ndarray) -> tuple[np.ndarray, tuple]:
+                        if rec is not None:
+                            rec.lane_map = block_idx
                         if full_block:
                             block_state = state
                         else:
@@ -675,12 +808,26 @@ class Program:
                     stable_mask = active_status == STABILIZE
                     if np.any(stable_mask):
                         stable_idx = active_idx[stable_mask]
+                        if rec is not None:
+                            rec.lane_map = stable_idx
                         block_state = [s[stable_idx] for s in state]
                         new_state = stabilize_fn(ctx, *g, *block_state)
+                        if rec is not None:
+                            rec.lane_map = None
                         for s_arr, new in zip(state, new_state):
                             s_arr[stable_idx] = new
                 running_mask = active_status == RUNNING
                 next_active = active_idx[running_mask]
+                if on_step is not None:
+                    nm = dict(zip(state_names, state))
+                    on_step(_increc.StepEvent(
+                        step=steps,
+                        active=active_idx.copy(),
+                        status=active_status.copy(),
+                        # fancy indexing already yields private copies
+                        outputs={o: nm[o][active_idx]
+                                 for o in self.high.outputs},
+                    ))
                 if obs_on:
                     step_dt = time.perf_counter() - step_t0
                     # classify only the strands that left this step — on
@@ -719,6 +866,9 @@ class Program:
                 state = [np.array(s) for s in state]
                 status = np.array(status)
         finally:
+            if rec is not None:
+                _ops.set_footprint_recorder(None)
+                rec.lane_map = None
             if ext_sched is None:
                 if pool is not None:
                     pool.close()
@@ -728,6 +878,43 @@ class Program:
         wall = time.perf_counter() - t0
         n_stable = int(np.sum(status == STABILIZE))
         n_died = int(np.sum(status == DIE))
+
+        if checkpoint:
+            snap = _increc.Snapshot(
+                state=[np.array(s) for s in state],
+                status=status.copy(),
+                sizes=np.asarray(sizes, dtype=np.int64),
+                los=np.asarray(los, dtype=np.int64),
+                total=total,
+                steps=steps,
+                max_steps=max_steps,
+                backend=backend,
+                grid=self.high.grid,
+                grid_dims=len(self.high.iter_names),
+            )
+            if _restore is not None and self._inc is not None:
+                inc = self._inc
+                inc.snapshot = snap
+                if rec is None and inc.recorder is not None \
+                        and restore_dirty is not None:
+                    # re-ran without recording: these rows' footprints no
+                    # longer match their (new) trajectories
+                    inc.stale_ids = np.union1d(inc.stale_ids, restore_dirty)
+            else:
+                inc = _IncState()
+                inc.snapshot = snap
+                inc.recorder = rec
+                self._inc = inc
+            if reg.enabled:
+                reg.inc("runtime.incremental.checkpoints")
+
+        if restore_dirty is not None and reg.enabled:
+            frac = restore_dirty.size / max(total, 1)
+            reg.observe("runtime.dirty_fraction", frac)
+            reg.inc_many({
+                "runtime.incremental.updates": 1,
+                "runtime.incremental.rerun_strands": int(restore_dirty.size),
+            })
 
         outputs: dict[str, np.ndarray] = {}
         name_to_arr = dict(zip(state_names, state))
@@ -767,7 +954,227 @@ class Program:
             grid=self.high.grid,
             grid_dims=len(self.high.iter_names),
             metrics=reg,
+            incremental=restore_dirty is not None,
+            dirty_strands=(int(restore_dirty.size)
+                           if restore_dirty is not None else total),
+            dirty_fraction=(restore_dirty.size / max(total, 1)
+                            if restore_dirty is not None else 1.0),
+            updated_indices=restore_dirty,
         )
+
+    # -- incremental re-execution (DESIGN.md "Incremental execution") --------------
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """True when a converged snapshot is available for updates."""
+        return self._inc is not None and self._inc.snapshot is not None
+
+    def invalidate_checkpoint(self) -> None:
+        """Drop the snapshot and footprints (next run starts cold)."""
+        self._inc = None
+
+    def build_footprints(self, ids=None, tracer=None) -> None:
+        """Build (or refresh, when ``ids`` is given) strand footprints.
+
+        Runs a sequential NumPy *shadow* re-execution with the gather
+        recorder installed: bit-identical to the checkpointed run, so
+        the recorded per-strand image AABBs describe exactly the
+        trajectories the snapshot holds.  Called lazily by
+        :meth:`update_input` when the checkpoint was produced by a
+        configuration that cannot record inline (thread/process
+        schedulers, the native backend) — callers never need to invoke
+        it directly.
+        """
+        inc = self._inc
+        if inc is None or inc.snapshot is None:
+            raise InputError(
+                "no checkpoint: run(checkpoint=True) before building "
+                "footprints"
+            )
+        snap = inc.snapshot
+        t0 = time.perf_counter()
+        full = inc.recorder is None or ids is None
+        rec = inc.recorder if not full else _increc.FootprintRecorder({})
+        if full:
+            self._metered(False, 1, DEFAULT_BLOCK_SIZE, snap.max_steps,
+                          tracer, "seq", "numpy", _record=rec)
+        else:
+            ids = np.unique(np.asarray(ids, dtype=np.int64))
+            if ids.size == 0:
+                return
+            self._metered(False, 1, DEFAULT_BLOCK_SIZE, snap.max_steps,
+                          tracer, "seq", "numpy", _record=rec,
+                          _restore={"snapshot": snap, "dirty": ids})
+        inc.recorder = rec
+        if inc.footprints is not None and inc.footprints.recorder is not rec:
+            inc.footprints = None  # a full rebuild replaced the recorder
+        dt = time.perf_counter() - t0
+        _mx.GLOBAL.inc("runtime.footprint.builds" if full
+                       else "runtime.footprint.refreshes")
+        _mx.GLOBAL.inc("runtime.footprint.build_seconds", dt)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tracer.complete("footprint-build", "incremental", t0, dt,
+                            full=full)
+
+    def update_input(self, name: str, data, region=None,
+                     tracer=None) -> dict:
+        """Patch an input in place and queue the invalidated strands.
+
+        For image globals, ``data``/``region`` go to
+        :meth:`repro.image.Image.patch` on the program's working image;
+        the changed regions are intersected against the per-strand
+        footprints and only the hit strands are queued for the next
+        :meth:`run_update`.  ``region`` is ``None`` (diff the full
+        replacement array), one region (``dim`` inclusive ``(lo, hi)``
+        index pairs), or a list of regions.
+
+        For non-image inputs the change cannot be localized, so the
+        next update degenerates to a full (re-checkpointing) run.
+
+        Returns ``{"input", "regions", "dirty_strands",
+        "total_strands", "full"}``.
+        """
+        inc = self._inc
+        if inc is None or inc.snapshot is None:
+            raise InputError(
+                "no checkpoint to update: call run(checkpoint=True) first"
+            )
+        total = inc.snapshot.total
+        if name not in self.high.images:
+            if name not in self.high.input_names:
+                raise InputError(
+                    f"{name!r} is neither an image global nor an input; "
+                    f"images are {sorted(self.high.images)}, inputs are "
+                    f"{self.high.input_names}"
+                )
+            self.set_input(name, data, _invalidate=False)
+            inc.pending_full = True
+            _mx.GLOBAL.inc("runtime.incremental.nonlocal_updates")
+            return {"input": name, "regions": [], "dirty_strands": total,
+                    "total_strands": total, "full": True}
+        ctx = self._context()
+        img = ctx.images[name]
+        # footprints must describe the *pre-patch* trajectories: build
+        # them (and refresh any stale rows) before touching the samples
+        if inc.recorder is None:
+            self.build_footprints(tracer=tracer)
+        elif inc.stale_ids.size:
+            self.build_footprints(inc.stale_ids, tracer=tracer)
+            inc.stale_ids = np.empty(0, dtype=np.int64)
+        if inc.footprints is None:
+            inc.footprints = _increc.Footprints(
+                inc.recorder,
+                {nm: im.sizes for nm, im in ctx.images.items()},
+            )
+        regions = img.patch(data, region=region)
+        if not regions:
+            return {"input": name, "regions": [], "dirty_strands": 0,
+                    "total_strands": total, "full": False}
+        t0 = time.perf_counter()
+        dirty = inc.footprints.dirty_strands(name, regions)
+        dt = time.perf_counter() - t0
+        _mx.GLOBAL.inc("runtime.footprint.intersect_seconds", dt)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tracer.complete("dirty-intersect", "incremental", t0, dt,
+                            regions=len(regions))
+        if dirty is None:
+            # an untracked (global-box) read overlaps the patch
+            inc.pending_full = True
+            n_dirty = total
+        else:
+            inc.pending_ids = np.union1d(inc.pending_ids, dirty)
+            n_dirty = int(dirty.size)
+        return {
+            "input": name,
+            "regions": [[lo.tolist(), hi.tolist()] for lo, hi in regions],
+            "dirty_strands": n_dirty,
+            "total_strands": total,
+            "full": dirty is None,
+        }
+
+    def run_update(
+        self,
+        workers: int | str = 1,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        max_steps: int | None = None,
+        tracer=None,
+        scheduler=None,
+        metrics=None,
+        backend: str | None = None,
+        on_step=None,
+    ) -> RunResult:
+        """Re-execute only the strands invalidated since the checkpoint.
+
+        Consumes the dirty set queued by :meth:`update_input`: clean
+        strands are restored from the snapshot, dirty strands are
+        re-seeded, re-initialized, and run to convergence, and the
+        snapshot is replaced with the new converged state.  The result
+        is bit-identical to a cold :meth:`run` over the patched inputs
+        (golden-gated across all schedulers and both backends).
+
+        ``backend`` defaults to the checkpoint's backend; passing a
+        different one raises (mixed backends would break the
+        bit-identity contract).  ``max_steps`` likewise defaults to the
+        checkpointed run's value.  When a pending change could not be
+        localized (non-image input, untracked read) or every strand is
+        dirty, this degenerates to a full checkpointing re-run
+        (``result.incremental`` is False in that case).
+        """
+        inc = self._inc
+        if inc is None or inc.snapshot is None:
+            raise InputError(
+                "no checkpoint: call run(checkpoint=True) first"
+            )
+        snap = inc.snapshot
+        if backend is None:
+            backend = snap.backend
+        elif backend != snap.backend:
+            raise InputError(
+                f"checkpoint was taken with backend {snap.backend!r}; "
+                f"updating with backend {backend!r} would break the "
+                "bit-identity contract — take a fresh checkpoint instead"
+            )
+        if max_steps is None:
+            max_steps = snap.max_steps
+        dirty = inc.pending_ids
+        full = inc.pending_full or int(dirty.size) >= snap.total
+        inc.pending_ids = np.empty(0, dtype=np.int64)
+        inc.pending_full = False
+        if full:
+            _mx.GLOBAL.inc("runtime.incremental.full_reruns")
+            return self.run(workers=workers, block_size=block_size,
+                            max_steps=max_steps, tracer=tracer,
+                            scheduler=scheduler, metrics=metrics,
+                            backend=backend, checkpoint=True,
+                            on_step=on_step)
+        if dirty.size == 0:
+            # nothing changed: serve the checkpoint without running
+            state = [s.copy() for s in snap.state]
+            nm = dict(zip(self.high.init_func.result_names, state))
+            outputs: dict[str, np.ndarray] = {}
+            if snap.grid:
+                for out in self.high.outputs:
+                    arr = nm[out]
+                    outputs[out] = arr.reshape(
+                        tuple(snap.sizes) + arr.shape[1:]
+                    )
+            else:
+                keep = snap.status == STABILIZE
+                for out in self.high.outputs:
+                    outputs[out] = nm[out][keep]
+            return RunResult(
+                outputs=outputs, steps=0, num_strands=snap.total,
+                num_stable=int(np.sum(snap.status == STABILIZE)),
+                num_died=int(np.sum(snap.status == DIE)),
+                wall_time=0.0, grid=snap.grid, grid_dims=snap.grid_dims,
+                metrics=_mx.resolve(metrics)[0], incremental=True,
+                dirty_strands=0, dirty_fraction=0.0,
+                updated_indices=np.empty(0, dtype=np.int64),
+            )
+        return self._metered(metrics, workers, block_size, max_steps,
+                             tracer, scheduler, backend,
+                             checkpoint=True, on_step=on_step,
+                             _restore={"snapshot": snap, "dirty": dirty})
 
     # -- synthesized CLI glue (paper §3.3.1) ---------------------------------------
 

@@ -26,7 +26,7 @@ import json
 import signal
 import sys
 
-from repro.serve.registry import ProbeSpec, ProgramRegistry
+from repro.serve.registry import ProbeSpec, ProgramRegistry, warm_manifest
 from repro.serve.server import ServeApp
 
 
@@ -59,6 +59,13 @@ async def _serve(args) -> int:
         window=args.window, max_batch=args.max_batch,
         max_queue=args.max_queue, compile_cache=not args.no_compile_cache,
     )
+    if args.warm:
+        warmed = await asyncio.to_thread(
+            warm_manifest, app.registry, args.warm,
+            cache=not args.no_compile_cache,
+        )
+        for entry in warmed:
+            print(f"warmed {entry.name!r}: {entry.info()}", file=sys.stderr)
     for name, path, probe in _parse_register(args.register, args.probe):
         entry = await asyncio.to_thread(
             app.registry.register, name, path=path, probe=probe,
@@ -107,6 +114,37 @@ async def _request(port: int, method: str, path: str, doc=None) -> tuple[int, di
     payload = json.loads(await reader.readexactly(length)) if length else {}
     writer.close()
     return status, payload
+
+
+async def _request_stream(port: int, path: str, doc) -> tuple[int, list]:
+    """POST and decode a chunked NDJSON response into a list of events."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(doc).encode()
+    writer.write(
+        (f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+         f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    chunked = False
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        k, _, v = line.decode().partition(":")
+        if k.strip().lower() == "transfer-encoding":
+            chunked = "chunked" in v.lower()
+    assert chunked, f"expected chunked response, got status {status}"
+    raw = b""
+    while True:
+        size = int((await reader.readline()).strip(), 16)
+        if size == 0:
+            break
+        raw += await reader.readexactly(size)
+        await reader.readexactly(2)  # trailing \r\n
+    writer.close()
+    events = [json.loads(line) for line in raw.splitlines() if line]
+    return status, events
 
 
 async def _smoke(args) -> int:
@@ -168,9 +206,101 @@ async def _smoke(args) -> int:
 
     await app.close()
     await shed_app.close()
+
+    inc = await _smoke_incremental()
     print(f"serve smoke OK: {len(points)} requests in {batches} batches "
-          f"({coalesced} coalesced), shed codes {codes}")
+          f"({coalesced} coalesced), shed codes {codes}; incremental "
+          f"update re-ran {inc['dirty']}/{inc['total']} strands over "
+          f"{inc['chunks']} stream chunks")
     return 0
+
+
+_INC_SOURCE = """\
+input int N = 20;
+image(2)[] img = load("p.nrrd");
+field#2(2)[] F = img ⊛ bspln3;
+strand S (int i, int j) {
+   output real x = 0.0;
+   int n = 0;
+   update {
+      vec2 p = [real(i) + 2.5, real(j) + 2.5];
+      if (inside(p, F)) { x = F(p) + 0.25 * (∇F(p))[0]; }
+      n += 1;
+      if (n >= 2) stabilize;
+   }
+}
+initially [ S(i, j) | i in 0 .. N-1, j in 0 .. N-1 ];
+"""
+
+
+async def _smoke_incremental() -> dict:
+    """Streaming /run + dirty-region /update, checked against cold runs."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.nrrd.writer import write_nrrd
+    from repro.obs import metrics as _mx
+
+    with tempfile.TemporaryDirectory(prefix="serve-inc-") as tmp:
+        rng = np.random.default_rng(0)
+        base = rng.random((26, 26))
+        patched = base.copy()
+        patched[3:6, 3:6] += 1.0
+        write_nrrd(f"{tmp}/p.nrrd", base)
+
+        app = ServeApp(ProgramRegistry())
+        await app.start("127.0.0.1", 0)
+        port = app.port
+        status, doc = await _request(port, "POST", "/programs/inc", {
+            "source": _INC_SOURCE, "search_path": tmp,
+        })
+        assert status == 200, f"register inc: {status} {doc}"
+
+        status, full = await _request(port, "POST", "/run/inc", {})
+        assert status == 200, f"cold run: {status} {full}"
+
+        # chunked streaming run: per-step events + a final done summary
+        status, events = await _request_stream(port, "/run/inc",
+                                               {"stream": True})
+        assert status == 200 and events[-1].get("done"), events[-1]
+        assert events[-1]["outputs"] == full["outputs"], \
+            "streamed final outputs differ from the plain run"
+        stabilized = sum(e.get("stabilized", 0) for e in events[:-1])
+        assert stabilized == full["strands"], (stabilized, full["strands"])
+
+        # dirty-region update: ship only the patched 3x3 block
+        status, upd = await _request(port, "POST", "/update/inc", {
+            "image": "img", "data": patched[3:6, 3:6].tolist(),
+            "region": [[3, 5], [3, 5]],
+        })
+        assert status == 200, f"update: {status} {upd}"
+        assert upd["incremental"] and upd["partial"], upd
+        assert 0 < upd["dirty_strands"] < upd["strands"], upd
+
+        # oracle: a cold run over the patched image must match the
+        # stitched (full run + updated rows) result bit-exactly
+        write_nrrd(f"{tmp}/p.nrrd", patched)
+        status, _ = await _request(port, "POST", "/programs/inc2", {
+            "source": _INC_SOURCE, "search_path": tmp,
+        })
+        assert status == 200
+        status, oracle = await _request(port, "POST", "/run/inc2", {})
+        assert status == 200
+        merged = np.asarray(full["outputs"]["x"], dtype=np.float64)
+        flat = merged.reshape(upd["strands"])
+        flat[np.asarray(upd["updated_indices"], dtype=np.int64)] = \
+            np.asarray(upd["outputs"]["x"], dtype=np.float64)
+        want = np.asarray(oracle["outputs"]["x"], dtype=np.float64)
+        assert np.array_equal(merged, want), "update not bit-identical"
+
+        snap = _mx.GLOBAL.snapshot()["counters"]
+        assert snap.get("serve.incremental.updates", 0) >= 1, snap
+        chunks = snap.get("serve.stream.chunks", 0)
+        assert chunks >= 2, snap
+        await app.close()
+        return {"dirty": upd["dirty_strands"], "total": upd["strands"],
+                "chunks": chunks}
 
 
 def main(argv=None) -> int:
@@ -183,6 +313,9 @@ def main(argv=None) -> int:
     parser.add_argument("--register", action="append", metavar="NAME=PATH",
                         help="compile and register a program at startup "
                              "(repeatable)")
+    parser.add_argument("--warm", metavar="MANIFEST",
+                        help="JSON manifest of programs to compile and "
+                             "register before binding the port")
     parser.add_argument("--probe", action="append",
                         metavar="NAME=IMAGE:COUNT[:PAD]",
                         help="probe spec for a registered name: the points "

@@ -25,6 +25,8 @@ closes its scheduler pool.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -35,7 +37,7 @@ from repro.errors import InputError
 from repro.image import Image
 from repro.obs import metrics as _mx
 
-__all__ = ["ProbeSpec", "ProgramEntry", "ProgramRegistry"]
+__all__ = ["ProbeSpec", "ProgramEntry", "ProgramRegistry", "warm_manifest"]
 
 
 @dataclass
@@ -108,8 +110,14 @@ class ProgramEntry:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, *, inputs: dict | None = None, tracer=None, metrics=None):
-        """One full program run on the pooled scheduler (serialized)."""
+    def run(self, *, inputs: dict | None = None, tracer=None, metrics=None,
+            on_step=None):
+        """One full program run on the pooled scheduler (serialized).
+
+        ``on_step`` (a per-super-step callback receiving
+        :class:`repro.runtime.incremental.StepEvent`) feeds the front
+        door's chunked streaming responses.
+        """
         with self.lock:
             if self._closed:
                 raise InputError(f"program {self.name!r} has been evicted")
@@ -121,7 +129,44 @@ class ProgramEntry:
                 workers=self.workers,
                 scheduler=pool if pool is not None else self.scheduler,
                 tracer=tracer, metrics=metrics, backend=self.backend,
+                on_step=on_step,
             )
+
+    def update(self, image: str, data, region=None, *, tracer=None,
+               metrics=None, on_step=None):
+        """Dirty-region image update: patch + incremental re-run.
+
+        Primes a checkpoint (one cold run over the entry's current
+        inputs) on first use, then patches the named image global and
+        re-executes only the strands whose footprints intersect the
+        changed regions.  Returns ``(update_info, RunResult)`` — see
+        :meth:`repro.runtime.program.Program.update_input` /
+        :meth:`~repro.runtime.program.Program.run_update`.
+        """
+        with self.lock:
+            if self._closed:
+                raise InputError(f"program {self.name!r} has been evicted")
+            self.requests += 1
+            pool = self._pooled_scheduler()
+            sched = pool if pool is not None else self.scheduler
+            if not self.program.has_checkpoint:
+                _mx.ACTIVE.inc("serve.incremental.cold_checkpoints")
+                self.program.run(
+                    workers=self.workers, scheduler=sched, tracer=tracer,
+                    metrics=metrics, backend=self.backend, checkpoint=True,
+                )
+            info = self.program.update_input(image, data, region=region,
+                                             tracer=tracer)
+            result = self.program.run_update(
+                workers=self.workers, scheduler=sched, tracer=tracer,
+                metrics=metrics, on_step=on_step,
+            )
+            _mx.ACTIVE.inc("serve.incremental.updates")
+            _mx.ACTIVE.observe(
+                "serve.incremental.dirty_fraction",
+                info["dirty_strands"] / max(info["total_strands"], 1),
+            )
+        return info, result
 
     def run_batch(self, points: np.ndarray, *, tracer=None, metrics=None):
         """Run one coalesced probe batch; returns ``{output: rows}``.
@@ -273,3 +318,57 @@ class ProgramRegistry:
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._entries
+
+
+def warm_manifest(registry: ProgramRegistry, manifest_path: str, *,
+                  cache: bool = True, tracer=None) -> list[ProgramEntry]:
+    """Pre-compile and register every program listed in a JSON manifest.
+
+    The manifest is either ``{"programs": [...]}`` or a bare list; each
+    item needs ``name`` plus ``path`` or ``source`` and may carry
+    ``precision``, ``scheduler``, ``workers``, ``backend``,
+    ``search_path``, and a ``probe`` object (``points_image``,
+    ``count_input``, optional ``pad``).  Relative ``path`` values are
+    resolved against the manifest file's directory.  Each registration
+    goes through the persistent compile cache and increments the
+    ``serve.registry.warmed`` counter.
+    """
+    with open(manifest_path, encoding="utf-8") as fp:
+        doc = json.load(fp)
+    items = doc.get("programs") if isinstance(doc, dict) else doc
+    if not isinstance(items, list):
+        raise InputError(
+            "warm manifest must be a JSON list or {'programs': [...]}"
+        )
+    base = os.path.dirname(os.path.abspath(manifest_path))
+    entries = []
+    for item in items:
+        if not isinstance(item, dict) or "name" not in item:
+            raise InputError(f"manifest entry needs a 'name': {item!r}")
+        probe = None
+        if item.get("probe"):
+            p = item["probe"]
+            probe = ProbeSpec(points_image=p["points_image"],
+                              count_input=p["count_input"],
+                              pad=int(p.get("pad", 1)))
+        kwargs = dict(
+            precision=item.get("precision", "double"), probe=probe,
+            scheduler=item.get("scheduler"),
+            workers=int(item.get("workers", 1)),
+            backend=item.get("backend"), cache=cache, tracer=tracer,
+        )
+        if "source" in item:
+            kwargs["source"] = item["source"]
+            kwargs["search_path"] = item.get("search_path")
+        elif "path" in item:
+            path = item["path"]
+            if not os.path.isabs(path):
+                path = os.path.join(base, path)
+            kwargs["path"] = path
+        else:
+            raise InputError(
+                f"manifest entry {item['name']!r} needs 'path' or 'source'"
+            )
+        entries.append(registry.register(item["name"], **kwargs))
+        _mx.ACTIVE.inc("serve.registry.warmed")
+    return entries

@@ -15,6 +15,14 @@ Routes::
     DELETE /programs/<name>    evict
     POST   /probe/<name>       {"points": [...]} → coalesced batch run
     POST   /run/<name>         {"inputs": {...}} → one full program run
+    POST   /update/<name>      {"image", "data", "region"?} → dirty-region
+                               incremental re-run (see DESIGN.md
+                               "Incremental execution")
+
+``POST /run`` and ``POST /update`` accept ``"stream": true``: the
+response becomes ``Transfer-Encoding: chunked`` NDJSON, one line per
+super-step (newly-stabilized strand ids + their output rows) and a
+final ``{"done": true, ...}`` line carrying the run summary.
 
 Status mapping: unknown program → 404, bad request/compile error → 400,
 queue full (:class:`~repro.serve.batch.Overloaded`) → 429 with
@@ -56,6 +64,13 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str):
         super().__init__(message)
         self.status = status
+
+
+class _Stream:
+    """Marker payload: the response is a chunked NDJSON event stream."""
+
+    def __init__(self, gen):
+        self.gen = gen  # async generator of JSON-serializable chunks
 
 
 class ServeApp:
@@ -134,7 +149,10 @@ class ServeApp:
         reg.inc("serve.requests")
         reg.inc(f"serve.http.{status}")
         reg.observe("serve.request_seconds", time.perf_counter() - t0)
-        await self._respond(writer, status, payload)
+        if isinstance(payload, _Stream):
+            await self._respond_stream(writer, status, payload.gen)
+        else:
+            await self._respond(writer, status, payload)
 
     async def _read_request(self, reader):
         line = await reader.readline()
@@ -178,6 +196,33 @@ class ServeApp:
             except RuntimeError:
                 pass
 
+    async def _respond_stream(self, writer, status: int, gen) -> None:
+        reg = _mx.GLOBAL
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head)
+            await writer.drain()
+            async for chunk in gen:
+                data = (json.dumps(chunk, default=float) + "\n").encode("utf-8")
+                writer.write(f"{len(data):x}\r\n".encode("latin-1")
+                             + data + b"\r\n")
+                reg.inc("serve.stream.chunks")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
     # -- routing -----------------------------------------------------------
 
     async def _dispatch(self, method: str, path: str, body: bytes):
@@ -202,6 +247,8 @@ class ServeApp:
             return await self._probe(seg[1], self._json(body))
         if len(seg) == 2 and seg[0] == "run" and method == "POST":
             return await self._run(seg[1], self._json(body))
+        if len(seg) == 2 and seg[0] == "update" and method == "POST":
+            return await self._update(seg[1], self._json(body))
         raise _HttpError(404, f"no route for {method} {path}")
 
     @staticmethod
@@ -265,10 +312,109 @@ class ServeApp:
         inputs = doc.get("inputs", {})
         if not isinstance(inputs, dict):
             raise _HttpError(400, "'inputs' must be an object")
+        if doc.get("stream"):
+            def call(on_step):
+                result = entry.run(inputs=inputs, on_step=on_step)
+                return self._run_payload(result) | {"done": True}
+            return 200, _Stream(self._stream_events(call))
         result = await asyncio.to_thread(entry.run, inputs=inputs)
-        return 200, {
+        return 200, self._run_payload(result)
+
+    @staticmethod
+    def _run_payload(result) -> dict:
+        return {
             "outputs": {k: v.tolist() for k, v in result.outputs.items()},
             "steps": result.steps,
             "strands": result.num_strands,
             "wall_seconds": result.wall_time,
         }
+
+    async def _update(self, name: str, doc: dict):
+        entry = self.registry.get(name)
+        if "image" not in doc or "data" not in doc:
+            raise _HttpError(400, "update needs 'image' and 'data'")
+        image = doc["image"]
+        data = np.asarray(doc["data"], dtype=entry.program.dtype)
+        region = doc.get("region")
+        if doc.get("stream"):
+            def call(on_step):
+                info, result = entry.update(image, data, region,
+                                            on_step=on_step)
+                return self._update_payload(info, result) | {"done": True}
+            return 200, _Stream(self._stream_events(call))
+        info, result = await asyncio.to_thread(entry.update, image, data,
+                                               region)
+        return 200, self._update_payload(info, result)
+
+    @staticmethod
+    def _update_payload(info: dict, result) -> dict:
+        payload = {
+            "update": info,
+            "steps": result.steps,
+            "strands": result.num_strands,
+            "dirty_strands": result.dirty_strands,
+            "dirty_fraction": result.dirty_fraction,
+            "incremental": result.incremental,
+            "wall_seconds": result.wall_time,
+        }
+        idx = result.updated_indices
+        if result.incremental and result.grid and idx is not None:
+            # ship only the rows that could have changed: flatten grid
+            # outputs to (total, ...) and select the re-run strands
+            payload["updated_indices"] = np.asarray(idx).tolist()
+            rows = {}
+            for k, arr in result.outputs.items():
+                flat = arr.reshape((result.num_strands,)
+                                   + arr.shape[result.grid_dims:])
+                rows[k] = flat[np.asarray(idx)].tolist()
+            payload["outputs"] = rows
+            payload["partial"] = True
+        else:
+            payload["outputs"] = {k: v.tolist()
+                                  for k, v in result.outputs.items()}
+            payload["partial"] = False
+        return payload
+
+    async def _stream_events(self, call):
+        """Run blocking ``call(on_step)`` in a thread; yield step chunks.
+
+        The worker thread's per-super-step callback is bridged onto the
+        event loop via ``call_soon_threadsafe`` into a queue; the final
+        chunk is whatever ``call`` returns (a dict with ``done: true``).
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def on_step(ev):
+            mask = ev.status == 1  # strands that stabilized this step
+            item = {
+                "step": int(ev.step),
+                "active": int(ev.active.size),
+                "stabilized": int(mask.sum()),
+            }
+            if item["stabilized"]:
+                item["ids"] = ev.active[mask].tolist()
+                item["outputs"] = {k: np.asarray(v)[mask].tolist()
+                                   for k, v in ev.outputs.items()}
+            loop.call_soon_threadsafe(queue.put_nowait, ("step", item))
+
+        task = asyncio.ensure_future(asyncio.to_thread(call, on_step))
+        # the done-callback runs on the loop after every pending
+        # call_soon_threadsafe step item, so ordering is preserved;
+        # consuming .exception() here also silences "never retrieved"
+        # when the client disconnects mid-stream
+        task.add_done_callback(
+            lambda t: queue.put_nowait(("done", t.exception(), t)))
+        while True:
+            msg = await queue.get()
+            if msg[0] == "step":
+                yield msg[1]
+                continue
+            _, exc, done = msg
+            if exc is not None:
+                status = getattr(exc, "status", None)
+                yield {"error": f"{type(exc).__name__}: {exc}",
+                       **({"status": status} if status else {})}
+                return
+            yield done.result()
+            return
